@@ -1,0 +1,91 @@
+// Tests of the public API surface: the façade must be sufficient to build
+// machines, run workloads, and drive the real data-structure
+// implementations without touching internal packages.
+package hemem_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	hemem "github.com/tieredmem/hemem"
+)
+
+func TestPublicGUPSFlow(t *testing.T) {
+	mgr := hemem.NewHeMem(hemem.DefaultHeMemConfig())
+	m := hemem.NewMachine(hemem.DefaultMachineConfig(), mgr)
+	g := hemem.NewGUPS(m, hemem.GUPSConfig{
+		Threads: 16, WorkingSet: 64 * hemem.GB, HotSet: 8 * hemem.GB, Seed: 1,
+	})
+	m.Warm()
+	m.Run(30 * hemem.Second)
+	if g.Score() <= 0 {
+		t.Fatal("no progress through public API")
+	}
+	if g.HotPages().Frac(hemem.TierDRAM) <= 0 {
+		t.Fatal("placement not visible through public API")
+	}
+}
+
+func TestPublicManagersConstruct(t *testing.T) {
+	for name, mgr := range map[string]hemem.Manager{
+		"hemem":    hemem.NewHeMem(hemem.DefaultHeMemConfig()),
+		"mm":       hemem.NewMemoryMode(),
+		"nimble":   hemem.NewNimble(),
+		"pt-async": hemem.NewHeMemPTAsync(),
+		"pt-sync":  hemem.NewHeMemPTSync(),
+		"dram":     hemem.DRAMOnly(),
+		"nvm":      hemem.NVMOnly(),
+		"xmem":     hemem.XMem(hemem.GB),
+	} {
+		m := hemem.NewMachine(hemem.DefaultMachineConfig(), mgr)
+		hemem.NewGUPS(m, hemem.GUPSConfig{Threads: 4, WorkingSet: 4 * hemem.GB})
+		m.Warm()
+		m.Run(100 * hemem.Millisecond)
+		if m.TotalOps("gups") <= 0 {
+			t.Errorf("%s: no ops", name)
+		}
+	}
+}
+
+func TestPublicKVStore(t *testing.T) {
+	s := hemem.NewKVStore(hemem.KVStoreConfig{})
+	s.Set([]byte("k"), []byte("v"))
+	if v, ok := s.Get([]byte("k")); !ok || string(v) != "v" {
+		t.Fatal("store roundtrip failed")
+	}
+}
+
+func TestPublicSiloTPCC(t *testing.T) {
+	env := hemem.NewTPCCEnv(hemem.NewDB(), 1)
+	g := hemem.NewTPCCRand(1)
+	for i := 0; i < 50; i++ {
+		if _, err := env.RunMix(g, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestPublicGraph(t *testing.T) {
+	g := hemem.Kronecker(8, 8, 1)
+	scores := hemem.BetweennessCentrality(g, 3, 1)
+	if len(scores) != g.N {
+		t.Fatal("score length mismatch")
+	}
+}
+
+func TestPublicExperiments(t *testing.T) {
+	if len(hemem.Experiments()) != 20 {
+		t.Fatalf("experiments = %d, want 20", len(hemem.Experiments()))
+	}
+	var buf bytes.Buffer
+	if !hemem.RunExperiment("tab1", &buf, hemem.ExperimentOpts{}) {
+		t.Fatal("tab1 missing")
+	}
+	if !strings.Contains(buf.String(), "DRAM") {
+		t.Fatal("tab1 output malformed")
+	}
+	if hemem.RunExperiment("bogus", &buf, hemem.ExperimentOpts{}) {
+		t.Fatal("bogus experiment accepted")
+	}
+}

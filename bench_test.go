@@ -1,0 +1,270 @@
+// Benchmarks: one per table and figure of the paper's evaluation, each
+// exercising a representative core of the corresponding experiment at
+// reduced length (the full sweeps live in cmd/hemem-bench; run it with
+// -full for paper-scale lengths). The Ablation benchmarks cover the design
+// choices DESIGN.md calls out.
+package hemem_test
+
+import (
+	"io"
+	"testing"
+
+	hemem "github.com/tieredmem/hemem"
+)
+
+// run builds a machine+GUPS pair and returns the score after warm+measure.
+func runGUPS(mgr hemem.Manager, cfg hemem.GUPSConfig, warm, measure int64) float64 {
+	m := hemem.NewMachine(hemem.DefaultMachineConfig(), mgr)
+	g := hemem.NewGUPS(m, cfg)
+	m.Warm()
+	m.Run(warm)
+	g.ResetScore()
+	m.Run(measure)
+	return g.Score()
+}
+
+func BenchmarkTable1_DeviceModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		hemem.RunExperiment("tab1", io.Discard, hemem.ExperimentOpts{})
+	}
+}
+
+func BenchmarkFig1_ThreadScalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		hemem.RunExperiment("fig1", io.Discard, hemem.ExperimentOpts{})
+	}
+}
+
+func BenchmarkFig2_AccessSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		hemem.RunExperiment("fig2", io.Discard, hemem.ExperimentOpts{})
+	}
+}
+
+func BenchmarkFig3_PageTableScan(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		hemem.RunExperiment("fig3", io.Discard, hemem.ExperimentOpts{})
+	}
+}
+
+func BenchmarkFig5_UniformGUPS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runGUPS(hemem.NewHeMem(hemem.DefaultHeMemConfig()),
+			hemem.GUPSConfig{Threads: 16, WorkingSet: 128 * hemem.GB, Seed: 17},
+			2*hemem.Second, 2*hemem.Second)
+	}
+}
+
+func BenchmarkFig6_HotSetGUPS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runGUPS(hemem.NewHeMem(hemem.DefaultHeMemConfig()),
+			hemem.GUPSConfig{Threads: 16, WorkingSet: 512 * hemem.GB, HotSet: 16 * hemem.GB, Seed: 17},
+			20*hemem.Second, 5*hemem.Second)
+	}
+}
+
+func BenchmarkFig7_ThreadScalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runGUPS(hemem.NewHeMem(hemem.DefaultHeMemConfig()),
+			hemem.GUPSConfig{Threads: 24, WorkingSet: 512 * hemem.GB, HotSet: 16 * hemem.GB, Seed: 17},
+			10*hemem.Second, 5*hemem.Second)
+	}
+}
+
+func BenchmarkTable2_WriteSkew(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runGUPS(hemem.NewHeMem(hemem.DefaultHeMemConfig()),
+			hemem.GUPSConfig{Threads: 16, WorkingSet: 512 * hemem.GB,
+				HotSet: 256 * hemem.GB, WriteOnlyHot: 128 * hemem.GB, Seed: 17},
+			20*hemem.Second, 5*hemem.Second)
+	}
+}
+
+func BenchmarkFig8_Overheads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runGUPS(hemem.NewHeMemPTSync(),
+			hemem.GUPSConfig{Threads: 16, WorkingSet: 512 * hemem.GB, HotSet: 16 * hemem.GB, Seed: 17},
+			10*hemem.Second, 5*hemem.Second)
+	}
+}
+
+func BenchmarkFig9_DynamicHotSet(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := hemem.NewMachine(hemem.DefaultMachineConfig(), hemem.NewHeMem(hemem.DefaultHeMemConfig()))
+		g := hemem.NewGUPS(m, hemem.GUPSConfig{
+			Threads: 16, WorkingSet: 512 * hemem.GB, HotSet: 16 * hemem.GB, Seed: 17,
+		})
+		m.Warm()
+		m.Run(10 * hemem.Second)
+		g.ShiftHotSet(4*hemem.GB, 99)
+		m.Run(10 * hemem.Second)
+	}
+}
+
+func BenchmarkFig10_SamplePeriod(b *testing.B) {
+	cfg := hemem.DefaultHeMemConfig()
+	cfg.SamplePeriod = 1000
+	for i := 0; i < b.N; i++ {
+		runGUPS(hemem.NewHeMem(cfg),
+			hemem.GUPSConfig{Threads: 16, WorkingSet: 512 * hemem.GB, HotSet: 16 * hemem.GB, Seed: 17},
+			10*hemem.Second, 5*hemem.Second)
+	}
+}
+
+func BenchmarkFig11_HotThreshold(b *testing.B) {
+	cfg := hemem.DefaultHeMemConfig()
+	cfg.HotReadThreshold = 16
+	cfg.HotWriteThreshold = 8
+	for i := 0; i < b.N; i++ {
+		runGUPS(hemem.NewHeMem(cfg),
+			hemem.GUPSConfig{Threads: 16, WorkingSet: 512 * hemem.GB, HotSet: 16 * hemem.GB, Seed: 17},
+			10*hemem.Second, 5*hemem.Second)
+	}
+}
+
+func BenchmarkFig12_CoolingThreshold(b *testing.B) {
+	cfg := hemem.DefaultHeMemConfig()
+	cfg.CoolThreshold = 30
+	for i := 0; i < b.N; i++ {
+		runGUPS(hemem.NewHeMem(cfg),
+			hemem.GUPSConfig{Threads: 16, WorkingSet: 512 * hemem.GB, HotSet: 16 * hemem.GB, Seed: 17},
+			10*hemem.Second, 5*hemem.Second)
+	}
+}
+
+func BenchmarkFig13_TPCC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := hemem.NewMachine(hemem.DefaultMachineConfig(), hemem.NewHeMem(hemem.DefaultHeMemConfig()))
+		d := hemem.NewTPCC(m, hemem.TPCCConfig{Warehouses: 700, Seed: 5})
+		m.Warm()
+		m.Run(20 * hemem.Second)
+		_ = d.TPS()
+	}
+}
+
+func BenchmarkTable3_FlexKVS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := hemem.NewMachine(hemem.DefaultMachineConfig(), hemem.NewHeMem(hemem.DefaultHeMemConfig()))
+		d := hemem.NewKVS(m, hemem.KVSConfig{
+			WorkingSet: 700 * hemem.GB, HotKeyFrac: 0.2, HotTrafficFrac: 0.9, Seed: 17,
+		})
+		m.Warm()
+		m.Run(20 * hemem.Second)
+		_ = d.Mops()
+	}
+}
+
+func BenchmarkTable4_Priority(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := hemem.NewHeMem(hemem.DefaultHeMemConfig())
+		m := hemem.NewMachine(hemem.DefaultMachineConfig(), h)
+		prio := hemem.NewKVS(m, hemem.KVSConfig{Name: "prio", WorkingSet: 16 * hemem.GB, ServerThreads: 4, Seed: 3})
+		hemem.NewKVS(m, hemem.KVSConfig{Name: "reg", WorkingSet: 500 * hemem.GB, Seed: 4})
+		h.PinRegion(prio.LogRegion())
+		h.PinRegion(prio.TableRegion())
+		m.Warm()
+		m.Run(10 * hemem.Second)
+	}
+}
+
+func benchBC(b *testing.B, scale int, mgr func() hemem.Manager) {
+	for i := 0; i < b.N; i++ {
+		m := hemem.NewMachine(hemem.DefaultMachineConfig(), mgr())
+		d := hemem.NewBC(m, hemem.BCConfig{
+			Scale: scale, Iterations: 2, EdgeVisitScale: 0.02, Seed: 2,
+		})
+		m.Warm()
+		m.RunUntilDone(1000 * hemem.Second)
+		_ = d.IterationTimes()
+	}
+}
+
+func BenchmarkFig14_BC28(b *testing.B) {
+	benchBC(b, 28, func() hemem.Manager { return hemem.NewHeMem(hemem.DefaultHeMemConfig()) })
+}
+
+func BenchmarkFig15_BC29(b *testing.B) {
+	benchBC(b, 29, func() hemem.Manager { return hemem.NewHeMem(hemem.DefaultHeMemConfig()) })
+}
+
+func BenchmarkFig16_BC29Wear(b *testing.B) {
+	benchBC(b, 29, func() hemem.Manager { return hemem.NewMemoryMode() })
+}
+
+// Ablations (DESIGN.md §4): each toggles one design choice.
+
+func BenchmarkAblationWritePriority(b *testing.B) {
+	cfg := hemem.DefaultHeMemConfig()
+	cfg.WritePriority = false
+	for i := 0; i < b.N; i++ {
+		runGUPS(hemem.NewHeMem(cfg),
+			hemem.GUPSConfig{Threads: 16, WorkingSet: 512 * hemem.GB,
+				HotSet: 256 * hemem.GB, WriteOnlyHot: 128 * hemem.GB, Seed: 17},
+			20*hemem.Second, 5*hemem.Second)
+	}
+}
+
+func BenchmarkAblationCoolingDisabled(b *testing.B) {
+	cfg := hemem.DefaultHeMemConfig()
+	cfg.CoolingEnabled = false
+	for i := 0; i < b.N; i++ {
+		runGUPS(hemem.NewHeMem(cfg),
+			hemem.GUPSConfig{Threads: 16, WorkingSet: 512 * hemem.GB, HotSet: 16 * hemem.GB, Seed: 17},
+			20*hemem.Second, 5*hemem.Second)
+	}
+}
+
+func BenchmarkAblationCopyThreads(b *testing.B) {
+	cfg := hemem.DefaultHeMemConfig()
+	cfg.UseDMA = false
+	for i := 0; i < b.N; i++ {
+		runGUPS(hemem.NewHeMem(cfg),
+			hemem.GUPSConfig{Threads: 24, WorkingSet: 512 * hemem.GB, HotSet: 16 * hemem.GB, Seed: 17},
+			10*hemem.Second, 5*hemem.Second)
+	}
+}
+
+func BenchmarkAblationManageAllAllocations(b *testing.B) {
+	cfg := hemem.DefaultHeMemConfig()
+	cfg.LargeAllocThreshold = 0 // manage even small allocations
+	for i := 0; i < b.N; i++ {
+		runGUPS(hemem.NewHeMem(cfg),
+			hemem.GUPSConfig{Threads: 16, WorkingSet: 64 * hemem.GB, Seed: 17},
+			5*hemem.Second, 5*hemem.Second)
+	}
+}
+
+// BenchmarkKVStore measures the real key-value store (not the simulator).
+func BenchmarkKVStore(b *testing.B) {
+	s := hemem.NewKVStore(hemem.KVStoreConfig{})
+	key := []byte("key-000000")
+	val := make([]byte, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key[9] = byte('0' + i%10)
+		s.Set(key, val)
+		s.Get(key)
+	}
+}
+
+// BenchmarkSiloTPCC measures the real database engine running the TPC-C
+// mix (not the simulator).
+func BenchmarkSiloTPCC(b *testing.B) {
+	env := hemem.NewTPCCEnv(hemem.NewDB(), 1)
+	g := hemem.NewTPCCRand(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.RunMix(g, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBrandesBC measures the real BC implementation.
+func BenchmarkBrandesBC(b *testing.B) {
+	g := hemem.Kronecker(14, 16, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hemem.BetweennessCentrality(g, 1, uint64(i))
+	}
+}

@@ -1,0 +1,60 @@
+// Command hemem-bench regenerates the tables and figures of the HeMem
+// paper's evaluation (§5) on the simulated testbed.
+//
+// Usage:
+//
+//	hemem-bench -list              list experiments
+//	hemem-bench -exp fig5          run one experiment (quick parameters)
+//	hemem-bench -exp all -full     run everything at paper-scale lengths
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/tieredmem/hemem/internal/bench"
+)
+
+func main() {
+	var (
+		exp  = flag.String("exp", "", "experiment id (or 'all')")
+		full = flag.Bool("full", false, "paper-scale run lengths")
+		seed = flag.Uint64("seed", 0, "workload layout seed (0 = default)")
+		list = flag.Bool("list", false, "list experiments")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("experiments:")
+		for _, e := range bench.All() {
+			fmt.Printf("  %-7s %s\n", e.ID, e.Title)
+		}
+		if *exp == "" {
+			fmt.Println("\nrun with -exp <id> or -exp all")
+		}
+		return
+	}
+
+	opts := bench.Opts{Full: *full, Seed: *seed}
+	run := func(e bench.Experiment) {
+		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
+		start := time.Now()
+		e.Run(os.Stdout, opts)
+		fmt.Printf("(%.1fs)\n\n", time.Since(start).Seconds())
+	}
+
+	if *exp == "all" {
+		for _, e := range bench.All() {
+			run(e)
+		}
+		return
+	}
+	e, ok := bench.ByID(*exp)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
+		os.Exit(1)
+	}
+	run(e)
+}

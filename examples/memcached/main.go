@@ -1,0 +1,62 @@
+// memcached: serve the real FlexKVS store over the memcached text protocol
+// (FlexKVS is "Memcached compatible", §5.2.2), drive it with concurrent
+// clients, and print server statistics.
+package main
+
+import (
+	"fmt"
+	"sync"
+
+	hemem "github.com/tieredmem/hemem"
+)
+
+func main() {
+	server := hemem.NewKVServer(hemem.NewKVStore(hemem.KVStoreConfig{}))
+	go func() {
+		if err := server.ListenAndServe("127.0.0.1:0"); err != nil {
+			panic(err)
+		}
+	}()
+	for server.Addr() == nil {
+	}
+	addr := server.Addr().String()
+	fmt.Printf("flexkvs listening on %s (memcached text protocol)\n", addr)
+
+	// Eight concurrent clients, 90% GETs / 10% SETs over a shared key
+	// space — the paper's workload mix in miniature.
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			cl, err := hemem.DialKV(addr)
+			if err != nil {
+				panic(err)
+			}
+			defer cl.Close()
+			value := make([]byte, 512)
+			for i := 0; i < 1000; i++ {
+				key := fmt.Sprintf("key-%04d", (id*131+i*7)%512)
+				if i%10 == 0 {
+					if err := cl.Set(key, uint32(id), value); err != nil {
+						panic(err)
+					}
+				} else {
+					cl.Get(key)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	cl, _ := hemem.DialKV(addr)
+	stats, err := cl.Stats()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("cmd_get=%d cmd_set=%d get_misses=%d curr_items=%d bytes=%d\n",
+		stats["cmd_get"], stats["cmd_set"], stats["get_misses"],
+		stats["curr_items"], stats["bytes"])
+	cl.Close()
+	server.Close()
+}

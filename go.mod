@@ -1,0 +1,3 @@
+module github.com/tieredmem/hemem
+
+go 1.22

@@ -1,0 +1,254 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/tieredmem/hemem/internal/core"
+	"github.com/tieredmem/hemem/internal/gap"
+	"github.com/tieredmem/hemem/internal/kvs"
+	"github.com/tieredmem/hemem/internal/machine"
+	"github.com/tieredmem/hemem/internal/sim"
+	"github.com/tieredmem/hemem/internal/tpcc"
+)
+
+func init() {
+	register("fig13", "Figure 13: Silo TPC-C warehouse scalability", runFig13)
+	register("tab3", "Table 3: FlexKVS throughput and latency", runTab3)
+	register("tab4", "Table 4: FlexKVS latency with priority", runTab4)
+	register("fig14", "Figure 14: GAP BC on 2^28 vertices (fits DRAM)", runFig14)
+	register("fig15", "Figure 15: GAP BC on 2^29 vertices (exceeds DRAM)", runFig15)
+	register("fig16", "Figure 16: NVM writes during BC on 2^29", runFig16)
+}
+
+// runFig13: TPC-C throughput over warehouse counts for four systems.
+func runFig13(w io.Writer, o Opts) {
+	warm := o.scale(90, 240) * sim.Second
+	measure := o.scale(20, 60) * sim.Second
+	systems := []struct {
+		name string
+		mk   func() machine.Manager
+	}{{"MM", newMM}, {"Nimble", newNimble}, {"HeMem", newHeMem}, {"NVM", newNVM}}
+	tw := table(w)
+	fmt.Fprintln(tw, "warehouses\tMM\tNimble\tHeMem\tNVM(X-Mem)")
+	counts := []int{16, 64, 216, 432, 700, 864, 1200, 1728}
+	for _, wh := range counts {
+		fmt.Fprintf(tw, "%d", wh)
+		for _, s := range systems {
+			m := machine.New(machine.DefaultConfig(), s.mk())
+			d := tpcc.NewDriver(m, tpcc.DriverConfig{Warehouses: wh, Seed: o.seed()})
+			m.Warm()
+			m.Run(warm)
+			d.ResetScore()
+			m.Run(measure)
+			fmt.Fprintf(tw, "\t%.0f", d.TPS())
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+	fmt.Fprintln(w, "tx/s, 16 threads; paper: HeMem up to +13% over MM and +82% over Nimble while warehouses fit DRAM (864 max); X-Mem at 32% of HeMem")
+	fmt.Fprintln(w, "known deviation: beyond 864 warehouses the paper has MM +17% over HeMem; our 64B-writeback amplification model keeps MM below HeMem there")
+}
+
+// runTab3: FlexKVS throughput at three working set sizes plus latency
+// percentiles at 30% load on the 700 GB set.
+func runTab3(w io.Writer, o Opts) {
+	// HeMem's identification of the 140 GB hot item set through 4 KB-value
+	// sampling converges slowly; give it a long warm-up even in quick mode.
+	warm := o.scale(300, 600) * sim.Second
+	measure := o.scale(30, 60) * sim.Second
+	systems := []struct {
+		name string
+		mk   func() machine.Manager
+	}{{"MM", newMM}, {"HeMem", newHeMem}, {"Nimble", newNimble}, {"NVM", newNVM}}
+
+	tw := table(w)
+	fmt.Fprintln(tw, "System\t16GB\t128GB\t700GB\t50p\t90p\t99p\t99.9p")
+	for _, s := range systems {
+		fmt.Fprintf(tw, "%s", s.name)
+		for _, ws := range []int64{16, 128, 700} {
+			m := machine.New(machine.DefaultConfig(), s.mk())
+			d := kvs.NewDriver(m, kvs.DriverConfig{
+				WorkingSet: ws * sim.GB, HotKeyFrac: 0.2, HotTrafficFrac: 0.9, Seed: o.seed(),
+			})
+			m.Warm()
+			m.Run(warm)
+			d.ResetScore()
+			m.Run(measure)
+			fmt.Fprintf(tw, "\t%.2f", d.Mops())
+		}
+		// Latency at 30% load on the 700 GB working set (the paper
+		// reports it for MM and HeMem).
+		if s.name == "MM" || s.name == "HeMem" {
+			m := machine.New(machine.DefaultConfig(), s.mk())
+			d := kvs.NewDriver(m, kvs.DriverConfig{
+				WorkingSet: 700 * sim.GB, HotKeyFrac: 0.2, HotTrafficFrac: 0.9,
+				NetBase: kvs.NetBaseTAS, Seed: o.seed(),
+			})
+			m.Warm()
+			m.Run(warm)
+			d.SetTargetRate(0.3 * 8 / (10 * 1000))
+			m.Run(10 * sim.Second)
+			d.ResetScore()
+			m.Run(measure)
+			lat := d.Latency()
+			for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+				fmt.Fprintf(tw, "\t%.0f", lat.Quantile(q)/1000)
+			}
+		} else {
+			fmt.Fprint(tw, "\t-\t-\t-\t-")
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+	fmt.Fprintln(w, "Mops/s and µs; paper: MM 1.09/1.03/0.93 Mops, 35/44/53/63 µs; HeMem 1.14/1.11/1.06 Mops, 20/26/34/49 µs")
+}
+
+// runTab4: two FlexKVS instances, one priority (pinned in DRAM under
+// HeMem), one regular, on the Linux TCP stack.
+func runTab4(w io.Writer, o Opts) {
+	warm := o.scale(60, 240) * sim.Second
+	measure := o.scale(20, 60) * sim.Second
+
+	run := func(mk func() machine.Manager, pin bool) (prio, reg *sim.Histogram) {
+		mgr := mk()
+		m := machine.New(machine.DefaultConfig(), mgr)
+		prioD := kvs.NewDriver(m, kvs.DriverConfig{
+			Name: "priority", WorkingSet: 16 * sim.GB, ServerThreads: 4,
+			NetBase: kvs.NetBaseLinux, Seed: o.seed(),
+			TargetRate: 0.5 * 4 / (26 * 1000),
+		})
+		// The regular instance runs closed-loop with a uniform 500 GB
+		// working set, as the paper drives it.
+		regD := kvs.NewDriver(m, kvs.DriverConfig{
+			Name: "regular", WorkingSet: 500 * sim.GB, ServerThreads: 8,
+			NetBase: kvs.NetBaseLinux, Seed: o.seed() + 1,
+		})
+		if pin {
+			h := mgr.(*core.HeMem)
+			h.PinRegion(prioD.LogRegion())
+			h.PinRegion(prioD.TableRegion())
+		}
+		m.Warm()
+		m.Run(warm)
+		prioD.ResetScore()
+		regD.ResetScore()
+		m.Run(measure)
+		return prioD.Latency(), regD.Latency()
+	}
+
+	hePrio, heReg := run(newHeMem, true)
+	mmPrio, mmReg := run(newMM, false)
+
+	tw := table(w)
+	fmt.Fprintln(tw, "µs\tPriority 50p\t99p\t99.9p\tRegular 50p\t99p\t99.9p")
+	prow := func(name string, p, r *sim.Histogram) {
+		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\n", name,
+			p.Quantile(0.5)/1000, p.Quantile(0.99)/1000, p.Quantile(0.999)/1000,
+			r.Quantile(0.5)/1000, r.Quantile(0.99)/1000, r.Quantile(0.999)/1000)
+	}
+	prow("HeMem", hePrio, heReg)
+	prow("MM", mmPrio, mmReg)
+	tw.Flush()
+	fmt.Fprintln(w, "paper: priority p50 86 (HeMem) vs 127 (MM) µs — 47% better — with no tangible impact on the regular instance")
+}
+
+// bcRun executes the BC driver under mgr and returns it.
+func bcRun(mgr machine.Manager, scale, iters int, visitScale float64, seed uint64) *gap.Driver {
+	m := machine.New(machine.DefaultConfig(), mgr)
+	d := gap.NewDriver(m, gap.DriverConfig{
+		Scale: scale, Iterations: iters, EdgeVisitScale: visitScale, Seed: seed,
+	})
+	m.Warm()
+	m.RunUntilDone(20000 * sim.Second)
+	return d
+}
+
+// runFig14: per-iteration BC runtimes at 2^28 (fits DRAM).
+func runFig14(w io.Writer, o Opts) {
+	iters := int(o.scale(6, 15))
+	visit := 0.05
+	if o.Full {
+		visit = 1
+	}
+	systems := []struct {
+		name string
+		mk   func() machine.Manager
+	}{{"DRAM", newDRAM}, {"HeMem", newHeMem}, {"Nimble", newNimble}, {"MM", newMM}}
+	printIterations(w, o, 28, iters, visit, systems,
+		"seconds per iteration; paper: HeMem ~= DRAM, 93% faster than MM on average; Nimble between (beats MM by 32%)")
+}
+
+// runFig15: per-iteration BC runtimes at 2^29 (exceeds DRAM).
+func runFig15(w io.Writer, o Opts) {
+	iters := int(o.scale(6, 15))
+	visit := 0.05
+	if o.Full {
+		visit = 1
+	}
+	systems := []struct {
+		name string
+		mk   func() machine.Manager
+	}{{"HeMem", newHeMem}, {"HeMem-PT-Async", newPTAsync}, {"Nimble", newNimble}, {"MM", newMM}}
+	printIterations(w, o, 29, iters, visit, systems,
+		"seconds per iteration; paper: HeMem fastest (58% over MM); PT-Async slow early then equal; Nimble +36% vs HeMem")
+}
+
+func printIterations(w io.Writer, o Opts, scale, iters int, visit float64, systems []struct {
+	name string
+	mk   func() machine.Manager
+}, footer string) {
+	results := make([][]int64, len(systems))
+	for i, s := range systems {
+		d := bcRun(s.mk(), scale, iters, visit, o.seed())
+		results[i] = d.IterationTimes()
+	}
+	tw := table(w)
+	fmt.Fprint(tw, "iteration")
+	for _, s := range systems {
+		fmt.Fprintf(tw, "\t%s", s.name)
+	}
+	fmt.Fprintln(tw)
+	for it := 0; it < iters; it++ {
+		fmt.Fprintf(tw, "%d", it+1)
+		for i := range systems {
+			fmt.Fprintf(tw, "\t%.1f", float64(results[i][it])/1e9)
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+	fmt.Fprintln(w, footer)
+}
+
+// runFig16: NVM write bytes per BC iteration at 2^29.
+func runFig16(w io.Writer, o Opts) {
+	iters := int(o.scale(6, 15))
+	visit := 0.05
+	if o.Full {
+		visit = 1
+	}
+	systems := []struct {
+		name string
+		mk   func() machine.Manager
+	}{{"MM", newMM}, {"HeMem-PEBS", newHeMem}, {"HeMem-PT-Async", newPTAsync}}
+	results := make([][]float64, len(systems))
+	for i, s := range systems {
+		d := bcRun(s.mk(), 29, iters, visit, o.seed())
+		results[i] = d.IterationNVMWrites()
+	}
+	tw := table(w)
+	fmt.Fprint(tw, "iteration")
+	for _, s := range systems {
+		fmt.Fprintf(tw, "\t%s", s.name)
+	}
+	fmt.Fprintln(tw)
+	for it := 0; it < iters; it++ {
+		fmt.Fprintf(tw, "%d", it+1)
+		for i := range systems {
+			fmt.Fprintf(tw, "\t%.2f", results[i][it]/float64(sim.GB))
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+	fmt.Fprintln(w, "GB written to NVM per iteration (log scale in the paper); paper: MM constant and ~10x HeMem; PT-Async high early, converging to PEBS")
+}

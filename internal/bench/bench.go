@@ -1,0 +1,110 @@
+// Package bench is the experiment harness: one registered experiment per
+// table and figure of the paper's evaluation (§5), each regenerating the
+// same rows or series the paper reports, on the simulated testbed.
+//
+// Experiments run in two sizes: the default "quick" parameters finish in
+// seconds of real time; Full parameters approach the paper's run lengths.
+// Absolute numbers come from the calibrated device models; the harness is
+// judged on shape — who wins, by what rough factor, and where crossovers
+// fall (see EXPERIMENTS.md for the side-by-side record).
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+
+	"github.com/tieredmem/hemem/internal/core"
+	"github.com/tieredmem/hemem/internal/gups"
+	"github.com/tieredmem/hemem/internal/machine"
+	"github.com/tieredmem/hemem/internal/memmode"
+	"github.com/tieredmem/hemem/internal/nimble"
+	"github.com/tieredmem/hemem/internal/ptscan"
+	"github.com/tieredmem/hemem/internal/sim"
+	"github.com/tieredmem/hemem/internal/xmem"
+)
+
+// Opts controls an experiment run.
+type Opts struct {
+	// Full selects paper-scale run lengths instead of quick ones.
+	Full bool
+	// Seed perturbs workload layout; 0 uses the default.
+	Seed uint64
+}
+
+func (o Opts) seed() uint64 {
+	if o.Seed == 0 {
+		return 17
+	}
+	return o.Seed
+}
+
+// scale returns quick unless Full is set.
+func (o Opts) scale(quick, full int64) int64 {
+	if o.Full {
+		return full
+	}
+	return quick
+}
+
+// Experiment regenerates one table or figure.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(w io.Writer, o Opts)
+}
+
+var registry []Experiment
+
+func register(id, title string, run func(w io.Writer, o Opts)) {
+	registry = append(registry, Experiment{ID: id, Title: title, Run: run})
+}
+
+// All returns every registered experiment in id order.
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// table starts an aligned output table.
+func table(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+}
+
+// Manager constructors used across experiments, keyed by report label.
+func newHeMem() machine.Manager    { return core.New(core.DefaultConfig()) }
+func newMM() machine.Manager       { return memmode.New() }
+func newNimble() machine.Manager   { return nimble.New() }
+func newDRAM() machine.Manager     { return xmem.DRAMFirst() }
+func newNVM() machine.Manager      { return xmem.NVMOnly() }
+func newPTAsync() machine.Manager  { return ptscan.New(ptscan.HeMemPTAsync()) }
+func newPTSync() machine.Manager   { return ptscan.New(ptscan.HeMemPTSync()) }
+func newScanOnly() machine.Manager { return ptscan.New(ptscan.ScanOnly()) }
+
+// gupsRun builds a machine+GUPS pair, warms, runs, and returns the
+// steady-window score in GUPS.
+func gupsRun(mgr machine.Manager, cfg gups.Config, warm, measure int64) float64 {
+	m := machine.New(machine.DefaultConfig(), mgr)
+	g := gups.New(m, cfg)
+	m.Warm()
+	m.Run(warm)
+	g.ResetScore()
+	m.Run(measure)
+	return g.Score()
+}
+
+// gb formats a byte count in GB.
+func gb(b int64) string { return fmt.Sprintf("%d", b/sim.GB) }

@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Every table and figure of the paper's evaluation has an experiment.
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"tab1", "fig1", "fig2", "fig3",
+		"fig5", "fig6", "fig7", "tab2", "fig8", "fig9", "fig10", "fig11", "fig12",
+		"fig13", "tab3", "tab4", "fig14", "fig15", "fig16",
+		"ext-swap",
+	}
+	if len(All()) != len(want) {
+		t.Fatalf("registered %d experiments, want %d", len(All()), len(want))
+	}
+	for _, id := range want {
+		if _, ok := ByID(id); !ok {
+			t.Errorf("experiment %s missing", id)
+		}
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("ByID accepted unknown id")
+	}
+}
+
+// All returns experiments sorted and with titles.
+func TestAllSortedAndTitled(t *testing.T) {
+	prev := ""
+	for _, e := range All() {
+		if e.ID <= prev {
+			t.Fatalf("not sorted: %s after %s", e.ID, prev)
+		}
+		prev = e.ID
+		if e.Title == "" || e.Run == nil {
+			t.Fatalf("experiment %s incomplete", e.ID)
+		}
+	}
+}
+
+// The microbenchmark experiments run instantly and produce tables.
+func TestMicroExperimentsProduceOutput(t *testing.T) {
+	for _, id := range []string{"tab1", "fig1", "fig2", "fig3"} {
+		e, _ := ByID(id)
+		var buf bytes.Buffer
+		e.Run(&buf, Opts{})
+		out := buf.String()
+		if len(out) < 100 {
+			t.Errorf("%s: output too short:\n%s", id, out)
+		}
+		if !strings.Contains(out, "paper:") {
+			t.Errorf("%s: missing paper expectation footer", id)
+		}
+	}
+}
+
+// A representative heavier experiment runs end to end at quick scale and
+// emits the expected header row.
+func TestFig5RunsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulated sweep")
+	}
+	e, _ := ByID("fig5")
+	var buf bytes.Buffer
+	e.Run(&buf, Opts{})
+	out := buf.String()
+	if !strings.Contains(out, "DRAM") || !strings.Contains(out, "HeMem") {
+		t.Fatalf("fig5 output malformed:\n%s", out)
+	}
+	if !strings.Contains(out, "256") {
+		t.Fatal("fig5 missing the 256 GB row")
+	}
+}
+
+// Smoke-run a subset of mid-weight experiments end to end (the heavy app
+// sweeps run via cmd/hemem-bench and the root benchmarks).
+func TestExperimentSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulated sweeps")
+	}
+	for _, id := range []string{"fig8", "fig11", "fig12", "tab2"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			e, _ := ByID(id)
+			var buf bytes.Buffer
+			e.Run(&buf, Opts{})
+			if !strings.Contains(buf.String(), "paper:") {
+				t.Fatalf("%s output missing expectation footer:\n%s", id, buf.String())
+			}
+		})
+	}
+}

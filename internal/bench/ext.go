@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/tieredmem/hemem/internal/core"
+	"github.com/tieredmem/hemem/internal/gups"
+	"github.com/tieredmem/hemem/internal/machine"
+	"github.com/tieredmem/hemem/internal/sim"
+	"github.com/tieredmem/hemem/internal/vm"
+)
+
+func init() {
+	register("ext-swap", "Extension: three-tier swapping (§3.4), working set beyond DRAM+NVM", runExtSwap)
+}
+
+// runExtSwap exercises the §3.4 swap tier: a working set larger than
+// DRAM+NVM combined, with HeMem swapping the coldest pages to a block
+// device and swapping pages back in as traffic reaches them. The paper
+// discusses this as future-capable ("swapping of tiered memory is
+// possible") without evaluating it; this experiment is an extension.
+func runExtSwap(w io.Writer, o Opts) {
+	warm := o.scale(180, 600) * sim.Second
+	measure := o.scale(30, 120) * sim.Second
+	tw := table(w)
+	fmt.Fprintln(tw, "hot(GB)\tGUPS(managed)\tGUPS(frozen)\thot-in-DRAM\tswap-ins\tswap-outs\tdisk-resident(GB)")
+	for _, hotGB := range []int64{8, 16, 32} {
+		row := func(migrate bool) (float64, *core.HeMem, *gups.GUPS, *machine.Machine) {
+			cfg := core.DefaultConfig()
+			cfg.EnableSwap = true
+			cfg.MigrationEnabled = migrate
+			h := core.New(cfg)
+			m := machine.New(machine.DefaultConfig(), h)
+			g := gups.New(m, gups.Config{
+				Threads: 16, WorkingSet: 1100 * sim.GB, HotSet: hotGB * sim.GB, Seed: o.seed(),
+			})
+			m.Warm()
+			m.Run(warm)
+			g.ResetScore()
+			m.Run(measure)
+			return g.Score(), h, g, m
+		}
+		managed, h, g, m := row(true)
+		frozen, _, _, _ := row(false)
+		var diskGB int64
+		for _, r := range m.AS.Regions {
+			diskGB += r.Bytes(vm.TierDisk)
+		}
+		st := h.Stats()
+		fmt.Fprintf(tw, "%d\t%.4f\t%.4f\t%.2f\t%d\t%d\t%d\n",
+			hotGB, managed, frozen, g.HotPages().Frac(vm.TierDRAM),
+			st.SwapIns, st.SwapOuts, diskGB/sim.GB)
+	}
+	tw.Flush()
+	fmt.Fprintln(w, "1100 GB working set on 192 GB DRAM + 768 GB NVM + disk; managed swapping must beat a frozen placement")
+}

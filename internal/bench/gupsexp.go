@@ -1,0 +1,348 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/tieredmem/hemem/internal/core"
+	"github.com/tieredmem/hemem/internal/gups"
+	"github.com/tieredmem/hemem/internal/machine"
+	"github.com/tieredmem/hemem/internal/ptscan"
+	"github.com/tieredmem/hemem/internal/sim"
+	"github.com/tieredmem/hemem/internal/vm"
+	"github.com/tieredmem/hemem/internal/xmem"
+)
+
+func init() {
+	register("fig5", "Figure 5: uniform GUPS vs working set size", runFig5)
+	register("fig6", "Figure 6: GUPS vs hot set size (512 GB working set)", runFig6)
+	register("fig7", "Figure 7: GUPS thread scalability", runFig7)
+	register("tab2", "Table 2: GUPS with skewed read/write pattern", runTab2)
+	register("fig8", "Figure 8: HeMem overhead breakdown", runFig8)
+	register("fig9", "Figure 9: instantaneous GUPS under a dynamic hot set", runFig9)
+	register("fig10", "Figure 10: PEBS sampling period sensitivity", runFig10)
+	register("fig11", "Figure 11: hot memory read threshold sensitivity", runFig11)
+	register("fig12", "Figure 12: memory cooling threshold sensitivity", runFig12)
+}
+
+// runFig5: uniform random GUPS over growing working sets for five systems.
+func runFig5(w io.Writer, o Opts) {
+	warm := o.scale(10, 60) * sim.Second
+	measure := o.scale(5, 30) * sim.Second
+	systems := []struct {
+		name string
+		mk   func() machine.Manager
+	}{
+		{"DRAM", newDRAM}, {"NVM", newNVM}, {"MM", newMM}, {"Nimble", newNimble}, {"HeMem", newHeMem},
+	}
+	tw := table(w)
+	fmt.Fprintln(tw, "ws(GB)\tDRAM\tNVM\tMM\tNimble\tHeMem\tMM-24thr\tHeMem-24thr")
+	for _, wsGB := range []int64{1, 8, 32, 64, 96, 128, 160, 192, 256} {
+		fmt.Fprintf(tw, "%d", wsGB)
+		for _, s := range systems {
+			score := gupsRun(s.mk(), gups.Config{
+				Threads: 16, WorkingSet: wsGB * sim.GB, Seed: o.seed(),
+			}, warm, measure)
+			fmt.Fprintf(tw, "\t%.4f", score)
+		}
+		// The paper compares HeMem and MM explicitly with more threads.
+		for _, mk := range []func() machine.Manager{newMM, newHeMem} {
+			score := gupsRun(mk(), gups.Config{
+				Threads: 24, WorkingSet: wsGB * sim.GB, Seed: o.seed(),
+			}, warm, measure)
+			fmt.Fprintf(tw, "\t%.4f", score)
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+	fmt.Fprintln(w, "GUPS, 16 threads (plus 24-thread MM/HeMem); paper: HeMem=MM=DRAM when <=32GB; HeMem 3.2x MM at 128GB (3.7x at 24 thr); all near NVM beyond DRAM")
+}
+
+// runFig6: fixed 512 GB working set, growing hot set.
+func runFig6(w io.Writer, o Opts) {
+	warm := o.scale(90, 300) * sim.Second
+	measure := o.scale(15, 60) * sim.Second
+	tw := table(w)
+	fmt.Fprintln(tw, "hot(GB)\tMM\tNimble\tHeMem\tMM-24thr\tHeMem-24thr")
+	for _, hotGB := range []int64{1, 4, 8, 16, 32, 64, 128, 256} {
+		fmt.Fprintf(tw, "%d", hotGB)
+		for _, mk := range []func() machine.Manager{newMM, newNimble, newHeMem} {
+			score := gupsRun(mk(), gups.Config{
+				Threads: 16, WorkingSet: 512 * sim.GB, HotSet: hotGB * sim.GB, Seed: o.seed(),
+			}, warm, measure)
+			fmt.Fprintf(tw, "\t%.4f", score)
+		}
+		for _, mk := range []func() machine.Manager{newMM, newHeMem} {
+			score := gupsRun(mk(), gups.Config{
+				Threads: 24, WorkingSet: 512 * sim.GB, HotSet: hotGB * sim.GB, Seed: o.seed(),
+			}, warm, measure)
+			fmt.Fprintf(tw, "\t%.4f", score)
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+	fmt.Fprintln(w, "GUPS; paper: HeMem holds while hot fits DRAM (up to 2x MM); Nimble ~25% of MM; all converge once hot set exceeds DRAM; at 24 threads MM leads below 8GB hot")
+}
+
+// runFig7: thread scalability on the dynamic hot-set experiment ("we run
+// the dynamic hot set experiment with different thread counts and report
+// the average GUPS") — migration stays active, so the copy-thread backend
+// pays its four cores where DMA pays none.
+func runFig7(w io.Writer, o Opts) {
+	warm := o.scale(60, 240) * sim.Second
+	measure := o.scale(40, 120) * sim.Second
+	heThreads := func() machine.Manager {
+		cfg := core.DefaultConfig()
+		cfg.UseDMA = false
+		return core.New(cfg)
+	}
+	tw := table(w)
+	fmt.Fprintln(tw, "threads\tMM\tHeMem(DMA)\tHeMem(4 copy thr)")
+	for _, threads := range []int{1, 4, 8, 12, 16, 20, 21, 22, 24} {
+		fmt.Fprintf(tw, "%d", threads)
+		for _, mk := range []func() machine.Manager{newMM, newHeMem, heThreads} {
+			m := machine.New(machine.DefaultConfig(), mk())
+			g := gups.New(m, gups.Config{
+				Threads: threads, WorkingSet: 512 * sim.GB, HotSet: 16 * sim.GB, Seed: o.seed(),
+			})
+			m.Warm()
+			m.Run(warm)
+			g.ResetScore()
+			// Shift part of the hot set so migration runs throughout
+			// the measurement window.
+			g.ShiftHotSet(4*sim.GB, o.seed()+31)
+			m.Run(measure)
+			fmt.Fprintf(tw, "\t%.4f", g.Score())
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+	fmt.Fprintln(w, "GUPS; paper: beyond 21 threads HeMem's background threads cost ~10% vs MM; copy threads cost a further 14%")
+}
+
+// runTab2: the asymmetric read/write experiment — 512 GB working set,
+// 256 GB hot of which 128 GB is write-only.
+func runTab2(w io.Writer, o Opts) {
+	warm := o.scale(120, 300) * sim.Second
+	measure := o.scale(30, 60) * sim.Second
+	cfg := gups.Config{
+		Threads: 16, WorkingSet: 512 * sim.GB, HotSet: 256 * sim.GB,
+		WriteOnlyHot: 128 * sim.GB, Seed: o.seed(),
+	}
+	type row struct {
+		name  string
+		score float64
+	}
+	var rows []row
+	for _, s := range []struct {
+		name string
+		mk   func() machine.Manager
+	}{{"Nimble", newNimble}, {"MM", newMM}, {"HeMem", newHeMem}} {
+		rows = append(rows, row{s.name, gupsRun(s.mk(), cfg, warm, measure)})
+	}
+	he := rows[len(rows)-1].score
+	tw := table(w)
+	fmt.Fprintln(tw, "System\tGUPS\tx")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.4f\t%.2f\n", r.name, r.score, r.score/he)
+	}
+	tw.Flush()
+	fmt.Fprintln(w, "paper: Nimble 0.020 (0.36x), MM 0.048 (0.86x), HeMem 0.056 (1x)")
+}
+
+// runFig8: the overhead breakdown — manual placement (Opt), PEBS tracking
+// only, PT scanning only, then each with migration enabled.
+func runFig8(w io.Writer, o Opts) {
+	warm := o.scale(60, 240) * sim.Second
+	measure := o.scale(15, 60) * sim.Second
+	gcfg := gups.Config{Threads: 16, WorkingSet: 512 * sim.GB, HotSet: 16 * sim.GB, Seed: o.seed()}
+
+	// Manual placement puts the known hot set in DRAM at first touch and
+	// fills remaining DRAM with cold pages (reserving room for hot pages
+	// not yet touched), matching the Opt baseline's placement.
+	manual := func(m *machine.Machine, g *gups.GUPS) func(p *vm.Page) vm.Tier {
+		hot := make(map[vm.PageID]bool, g.HotPages().Len())
+		for _, p := range g.HotPages().Pages() {
+			hot[p.ID] = true
+		}
+		hotLeft := int64(g.HotPages().Len())
+		var used int64
+		return func(p *vm.Page) vm.Tier {
+			ps := p.Region.PageSize
+			if hot[p.ID] {
+				hotLeft--
+				used += ps
+				return vm.TierDRAM
+			}
+			if used+hotLeft*ps+ps <= m.Cfg.DRAMSize {
+				used += ps
+				return vm.TierDRAM
+			}
+			return vm.TierNVM
+		}
+	}
+
+	type cfgFn func(m *machine.Machine, g *gups.GUPS) machine.Manager
+	bars := []struct {
+		name string
+		mk   cfgFn
+	}{
+		{"Opt", func(m *machine.Machine, g *gups.GUPS) machine.Manager { return xmem.Opt(g.HotPages()) }},
+		{"PEBS", func(m *machine.Machine, g *gups.GUPS) machine.Manager {
+			cfg := core.DefaultConfig()
+			cfg.MigrationEnabled = false
+			cfg.PlaceFunc = manual(m, g)
+			return core.New(cfg)
+		}},
+		{"PT Scan", func(m *machine.Machine, g *gups.GUPS) machine.Manager {
+			opt := ptscan.ScanOnly()
+			opt.PlaceFunc = manual(m, g)
+			return ptscan.New(opt)
+		}},
+		{"PEBS + Migrate", func(m *machine.Machine, g *gups.GUPS) machine.Manager { return core.New(core.DefaultConfig()) }},
+		{"PT Scan + M. Sync", func(m *machine.Machine, g *gups.GUPS) machine.Manager { return ptscan.New(ptscan.HeMemPTSync()) }},
+		{"PT Scan + M. Async", func(m *machine.Machine, g *gups.GUPS) machine.Manager { return ptscan.New(ptscan.HeMemPTAsync()) }},
+	}
+	tw := table(w)
+	fmt.Fprintln(tw, "Configuration\tGUPS\tvs Opt")
+	var opt float64
+	for _, b := range bars {
+		// Two-phase construction: the manager needs the workload's hot
+		// set, which needs the machine.
+		boot := machine.New(machine.DefaultConfig(), xmem.NVMOnly())
+		g := gups.New(boot, gcfg)
+		mgr := b.mk(boot, g)
+		boot.Mgr = mgr
+		mgr.Attach(boot)
+		boot.Warm()
+		boot.Run(warm)
+		g.ResetScore()
+		boot.Run(measure)
+		score := g.Score()
+		if b.name == "Opt" {
+			opt = score
+		}
+		fmt.Fprintf(tw, "%s\t%.4f\t%.2f\n", b.name, score, score/opt)
+	}
+	tw.Flush()
+	fmt.Fprintln(w, "paper: PEBS ~= Opt; PT Scan -18%; PEBS+Migrate within 5.9% of Opt; M.Sync 18% of Opt; M.Async 43% of Opt")
+}
+
+// runFig9: instantaneous GUPS over time with a hot set shift.
+func runFig9(w io.Writer, o Opts) {
+	pre := o.scale(60, 150) * sim.Second
+	post := o.scale(60, 150) * sim.Second
+	systems := []struct {
+		name string
+		mk   func() machine.Manager
+	}{{"MM", newMM}, {"HeMem", newHeMem}, {"Nimble", newNimble}, {"HeMem-PT-Async", newPTAsync}}
+
+	var series [][]float64
+	var times []int64
+	for _, s := range systems {
+		m := machine.New(machine.DefaultConfig(), s.mk())
+		g := gups.New(m, gups.Config{
+			Threads: 16, WorkingSet: 512 * sim.GB, HotSet: 16 * sim.GB, Seed: o.seed(),
+		})
+		m.Warm()
+		m.Run(pre)
+		g.ShiftHotSet(4*sim.GB, o.seed()+99)
+		m.Run(post)
+		ts := m.Throughput(g.Name())
+		var vals []float64
+		if len(series) == 0 {
+			step := (pre + post) / 24
+			for t := step; t <= pre+post; t += step {
+				times = append(times, t)
+			}
+		}
+		for _, t := range times {
+			vals = append(vals, ts.At(t)/1e9)
+		}
+		series = append(series, vals)
+	}
+	tw := table(w)
+	fmt.Fprint(tw, "t(s)")
+	for _, s := range systems {
+		fmt.Fprintf(tw, "\t%s", s.name)
+	}
+	fmt.Fprintln(tw)
+	for i, t := range times {
+		fmt.Fprintf(tw, "%d", t/sim.Second)
+		for _, vals := range series {
+			fmt.Fprintf(tw, "\t%.4f", vals[i])
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "GUPS; hot set shifts at t=%ds; paper: HeMem and MM recover within ~20s; PT-Async stays at ~54%% of HeMem\n", pre/sim.Second)
+}
+
+// runFig10: PEBS sampling period sweep with drop fractions.
+func runFig10(w io.Writer, o Opts) {
+	warm := o.scale(60, 240) * sim.Second
+	measure := o.scale(15, 60) * sim.Second
+	tw := table(w)
+	fmt.Fprintln(tw, "period\tGUPS\tdropped")
+	for _, period := range []float64{250, 1000, 5000, 20000, 100000, 500000, 1000000} {
+		cfg := core.DefaultConfig()
+		cfg.SamplePeriod = period
+		h := core.New(cfg)
+		m := machine.New(machine.DefaultConfig(), h)
+		g := gups.New(m, gups.Config{
+			Threads: 16, WorkingSet: 512 * sim.GB, HotSet: 16 * sim.GB, Seed: o.seed(),
+		})
+		m.Warm()
+		m.Run(warm)
+		g.ResetScore()
+		m.Run(measure)
+		fmt.Fprintf(tw, "%.0f\t%.4f\t%.2f%%\n", period, g.Score(), h.Buffer().DropFraction()*100)
+	}
+	tw.Flush()
+	fmt.Fprintln(w, "paper: up to 30% drops below 1k; 5k-100k good; >100k too coarse to track the hot set")
+}
+
+// runFig11: hot read threshold sweep (write threshold at half).
+func runFig11(w io.Writer, o Opts) {
+	warm := o.scale(60, 240) * sim.Second
+	measure := o.scale(15, 60) * sim.Second
+	tw := table(w)
+	fmt.Fprintln(tw, "threshold\tGUPS")
+	for _, th := range []int{2, 4, 6, 8, 12, 16, 24, 32} {
+		cfg := core.DefaultConfig()
+		cfg.HotReadThreshold = th
+		cfg.HotWriteThreshold = (th + 1) / 2
+		score := gupsRun(core.New(cfg), gups.Config{
+			Threads: 16, WorkingSet: 512 * sim.GB, HotSet: 16 * sim.GB, Seed: o.seed(),
+		}, warm, measure)
+		fmt.Fprintf(tw, "%d\t%.4f\n", th, score)
+	}
+	tw.Flush()
+	fmt.Fprintln(w, "paper: low thresholds overestimate the hot set; 6-20 good; >20 underestimates (slow identification)")
+}
+
+// runFig12: cooling threshold sweep on the dynamic hot-set experiment —
+// the score is measured after the shift, while adaptation is underway.
+func runFig12(w io.Writer, o Opts) {
+	pre := o.scale(90, 150) * sim.Second
+	post := o.scale(60, 150) * sim.Second
+	tw := table(w)
+	fmt.Fprintln(tw, "cooling\tGUPS(after shift)")
+	for _, ct := range []int{8, 10, 18, 30} {
+		cfg := core.DefaultConfig()
+		cfg.CoolThreshold = ct
+		h := core.New(cfg)
+		m := machine.New(machine.DefaultConfig(), h)
+		g := gups.New(m, gups.Config{
+			Threads: 16, WorkingSet: 512 * sim.GB, HotSet: 16 * sim.GB, Seed: o.seed(),
+		})
+		m.Warm()
+		m.Run(pre)
+		g.ShiftHotSet(4*sim.GB, o.seed()+7)
+		g.ResetScore()
+		m.Run(post)
+		fmt.Fprintf(tw, "%d\t%.4f\n", ct, g.Score())
+	}
+	tw.Flush()
+	fmt.Fprintln(w, "paper: cooling == hot threshold (8) too aggressive; higher adapts faster; 30 keeps too many pages hot")
+}

@@ -1,0 +1,600 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/tieredmem/hemem/internal/dma"
+	"github.com/tieredmem/hemem/internal/machine"
+	"github.com/tieredmem/hemem/internal/pebs"
+	"github.com/tieredmem/hemem/internal/sim"
+	"github.com/tieredmem/hemem/internal/vm"
+)
+
+// Config holds HeMem's policy parameters. Defaults are the prototype's
+// experimentally determined values (§3, §5.1 sensitivity studies).
+type Config struct {
+	// HotReadThreshold is the sampled load count at which a page becomes
+	// hot (paper: 8).
+	HotReadThreshold int
+	// HotWriteThreshold is the sampled store count at which a page
+	// becomes hot and write-heavy (paper: 4 — half the read threshold).
+	HotWriteThreshold int
+	// CoolThreshold is the accumulated sample count on any single page
+	// that advances the global cooling clock (paper: 18).
+	CoolThreshold int
+	// PolicyInterval is the migration policy period (paper: 10 ms).
+	PolicyInterval int64
+	// SamplePeriod is the PEBS sampling period in accesses (paper: 5000).
+	SamplePeriod float64
+	// PEBSBufferCap is the PEBS buffer capacity in records.
+	PEBSBufferCap int
+	// ReaderRate is the PEBS thread's record-processing capacity.
+	ReaderRate float64
+	// FreeDRAMTarget is the DRAM kept free for new allocations
+	// (paper: 1 GB).
+	FreeDRAMTarget int64
+	// MigRateCap bounds migration bandwidth (paper: 10 GB/s).
+	MigRateCap float64
+	// LargeAllocThreshold: regions at least this large are managed;
+	// smaller allocations are forwarded to the kernel and stay in DRAM
+	// (paper: 1 GB).
+	LargeAllocThreshold int64
+	// UseDMA selects the I/OAT engine; false uses CopyThreads copy
+	// threads instead.
+	UseDMA bool
+	// CopyThreads is the software-copy thread count (paper: 4).
+	CopyThreads int
+	// WritePriority enables write-heavy page prioritization (§3.3);
+	// disabling it is an ablation.
+	WritePriority bool
+	// CoolingEnabled enables the cooling clock; disabling it is an
+	// ablation.
+	CoolingEnabled bool
+	// MigrationEnabled allows the policy to move pages (Figure 8's
+	// "PEBS" bar disables it to isolate sampling overhead).
+	MigrationEnabled bool
+	// BackgroundThreads is the core cost of HeMem's PEBS, policy, and
+	// fault threads while the manager runs.
+	BackgroundThreads float64
+	// PlaceFunc, when set, overrides the default DRAM-first placement on
+	// first touch while keeping tracking intact. Figure 8's "Opt" and
+	// "PEBS" bars use it to place the known-hot set manually.
+	PlaceFunc func(p *vm.Page) vm.Tier
+	// EnableSwap adds the slowest tier the paper's §3.4 sketches: when
+	// NVM fills, the policy swaps the coldest NVM pages out to the block
+	// device, and swaps pages back in (to NVM) when traffic reaches them
+	// again. Off by default, as in the prototype.
+	EnableSwap bool
+	// FreeNVMTarget is the NVM kept free when swap is enabled.
+	FreeNVMTarget int64
+}
+
+// DefaultConfig returns the paper's prototype parameters.
+func DefaultConfig() Config {
+	return Config{
+		HotReadThreshold:    8,
+		HotWriteThreshold:   4,
+		CoolThreshold:       18,
+		PolicyInterval:      10 * sim.Millisecond,
+		SamplePeriod:        5000,
+		PEBSBufferCap:       1 << 16,
+		ReaderRate:          pebs.DefaultReaderRate,
+		FreeDRAMTarget:      1 * sim.GB,
+		MigRateCap:          sim.GBps(10),
+		LargeAllocThreshold: 1 * sim.GB,
+		UseDMA:              true,
+		CopyThreads:         4,
+		WritePriority:       true,
+		CoolingEnabled:      true,
+		MigrationEnabled:    true,
+		BackgroundThreads:   2.5,
+		FreeNVMTarget:       1 * sim.GB,
+	}
+}
+
+// Stats aggregates engine activity for reporting and tests.
+type Stats struct {
+	Samples      uint64
+	CoolEpochs   uint64
+	Promotions   int64
+	Demotions    int64
+	SwapIns      int64
+	SwapOuts     int64
+	WPStallPages int64
+}
+
+// HeMem is the manager: it implements machine.Manager, consumes PEBS
+// samples, classifies pages into per-tier hot/cold FIFO queues, and runs
+// the 10 ms migration policy.
+type HeMem struct {
+	cfg Config
+	m   *machine.Machine
+
+	buffer  *pebs.Buffer
+	sampler *pebs.Sampler
+	reader  *pebs.Reader
+
+	// pages maps PageID to tracking state; nil entries are unmanaged
+	// (small kernel allocations).
+	pages []*PageInfo
+
+	dramHot, dramCold List
+	nvmHot, nvmCold   List
+	diskCold          List // swapped-out pages (EnableSwap)
+
+	clock      uint64 // global cooling clock
+	dramUsed   int64  // bytes placed in DRAM (committed, incl. in-flight)
+	nvmUsed    int64
+	pinned     map[*vm.Region]bool
+	managed    map[*vm.Region]bool // growth-promoted regions
+	diskCursor map[*vm.PageSet]int
+
+	stats Stats
+}
+
+// New creates a HeMem manager with cfg (zero value gets defaults).
+func New(cfg Config) *HeMem {
+	if cfg.HotReadThreshold == 0 {
+		cfg = DefaultConfig()
+	}
+	h := &HeMem{cfg: cfg}
+	h.dramHot.Name, h.dramCold.Name = "dram-hot", "dram-cold"
+	h.nvmHot.Name, h.nvmCold.Name = "nvm-hot", "nvm-cold"
+	h.diskCold.Name = "disk-cold"
+	h.buffer = pebs.NewBuffer(cfg.PEBSBufferCap)
+	h.sampler = pebs.NewSampler(cfg.SamplePeriod, h.buffer)
+	h.reader = pebs.NewReader(cfg.ReaderRate)
+	return h
+}
+
+// Name implements machine.Manager.
+func (h *HeMem) Name() string { return "HeMem" }
+
+// Config returns the active configuration.
+func (h *HeMem) Config() Config { return h.cfg }
+
+// Stats returns a copy of the engine counters.
+func (h *HeMem) Stats() Stats { return h.stats }
+
+// Sampler implements machine.SampleSource.
+func (h *HeMem) Sampler() *pebs.Sampler { return h.sampler }
+
+// Buffer exposes the PEBS buffer (drop statistics for Figure 10).
+func (h *HeMem) Buffer() *pebs.Buffer { return h.buffer }
+
+// Attach implements machine.Manager: wire the migrator backend and start
+// the policy timer.
+func (h *HeMem) Attach(m *machine.Machine) {
+	h.m = m
+	m.Migrator.RateCap = h.cfg.MigRateCap
+	if h.cfg.UseDMA {
+		m.Migrator.SetBackend(machine.DMABackend{Engine: dma.New(dma.DefaultConfig())})
+	} else {
+		m.Migrator.SetBackend(machine.ThreadBackend{Copier: dma.NewThreadCopier(h.cfg.CopyThreads)})
+	}
+	var tick func(now int64)
+	tick = func(now int64) {
+		h.policy()
+		m.Events.Schedule(now+h.cfg.PolicyInterval, tick)
+	}
+	m.Events.Schedule(m.Clock.Now()+h.cfg.PolicyInterval, tick)
+}
+
+// info returns the tracking state for page id, or nil if unmanaged.
+func (h *HeMem) info(id vm.PageID) *PageInfo {
+	if int(id) >= len(h.pages) {
+		return nil
+	}
+	return h.pages[id]
+}
+
+// track creates tracking state for a managed page.
+func (h *HeMem) track(p *vm.Page) *PageInfo {
+	for int(p.ID) >= len(h.pages) {
+		h.pages = append(h.pages, nil)
+	}
+	pi := &PageInfo{Page: p, CoolClock: h.clock}
+	h.pages[p.ID] = pi
+	return pi
+}
+
+// Manage begins tracking a region that was previously left to the kernel:
+// the paper's growth policy ("If HeMem observes a region growing via small
+// allocations, it will start to manage it once a size threshold is
+// crossed", §3.3). Already-placed pages enter the cold list of their
+// current tier; untouched pages will be placed on first touch.
+func (h *HeMem) Manage(r *vm.Region) {
+	if h.managed == nil {
+		h.managed = make(map[*vm.Region]bool)
+	}
+	if h.managed[r] {
+		return
+	}
+	h.managed[r] = true
+	for _, p := range r.Pages {
+		if p.Tier == vm.TierNone || h.info(p.ID) != nil {
+			continue
+		}
+		pi := h.track(p)
+		h.coldList(p.Tier).PushBack(pi)
+	}
+}
+
+// Managed reports whether r is under HeMem management (either because it
+// was mapped large or because growth tracking promoted it).
+func (h *HeMem) Managed(r *vm.Region) bool {
+	if h.managed[r] {
+		return true
+	}
+	return r.Size() >= h.cfg.LargeAllocThreshold && !h.pinned[r]
+}
+
+// PinRegion marks a region as pinned to DRAM: its pages are always
+// allocated from DRAM and never demoted. This is HeMem's per-application
+// flexibility at work — the paper's priority FlexKVS instance keeps all of
+// its key-value pairs in DRAM this way (§5.2.2, Table 4).
+func (h *HeMem) PinRegion(r *vm.Region) {
+	if h.pinned == nil {
+		h.pinned = make(map[*vm.Region]bool)
+	}
+	h.pinned[r] = true
+}
+
+// PageIn implements machine.Manager: the userfaultfd page-missing path.
+// Pinned and small regions stay in DRAM untracked; large regions are
+// managed, preferring DRAM while any is free and falling back to NVM
+// otherwise (§3.3).
+func (h *HeMem) PageIn(p *vm.Page) {
+	ps := h.m.Cfg.PageSize
+	if h.pinned[p.Region] {
+		h.dramUsed += ps
+		p.SetTier(vm.TierDRAM)
+		return
+	}
+	if p.Region.Size() < h.cfg.LargeAllocThreshold && !h.managed[p.Region] {
+		// Kernel-managed small allocation: keep in DRAM if at all
+		// possible.
+		if h.dramUsed+ps <= h.m.Cfg.DRAMSize {
+			h.dramUsed += ps
+			p.SetTier(vm.TierDRAM)
+		} else {
+			h.nvmUsed += ps
+			p.SetTier(vm.TierNVM)
+		}
+		return
+	}
+	pi := h.track(p)
+	want := vm.TierDRAM
+	if h.cfg.PlaceFunc != nil {
+		want = h.cfg.PlaceFunc(p)
+	}
+	switch {
+	case want == vm.TierDRAM && h.dramUsed+ps <= h.m.Cfg.DRAMSize:
+		h.dramUsed += ps
+		p.SetTier(vm.TierDRAM)
+		h.dramCold.PushBack(pi)
+	case !h.cfg.EnableSwap || h.nvmUsed+ps <= h.m.Cfg.NVMSize:
+		h.nvmUsed += ps
+		p.SetTier(vm.TierNVM)
+		h.nvmCold.PushBack(pi)
+	default:
+		p.SetTier(vm.TierDisk)
+		h.diskCold.PushBack(pi)
+	}
+}
+
+// OnQuantum implements machine.Manager: the PEBS thread drains the sample
+// buffer at its bounded rate and classifies each record.
+func (h *HeMem) OnQuantum(now, dt int64) {
+	h.reader.Drain(h.buffer, dt, h.onSample)
+}
+
+// ActiveThreads implements machine.Manager.
+func (h *HeMem) ActiveThreads() float64 { return h.cfg.BackgroundThreads }
+
+// onSample is the classifier (§3.1): lazy cooling, counter update,
+// hot/cold list movement, write-heavy promotion, and cooling-clock
+// advancement.
+func (h *HeMem) onSample(rec pebs.Record) {
+	pi := h.info(rec.Page)
+	if pi == nil {
+		return // unmanaged page
+	}
+	h.stats.Samples++
+
+	if h.cfg.CoolingEnabled && pi.CoolClock != h.clock {
+		h.cool(pi)
+	}
+
+	if rec.Kind == pebs.Store {
+		pi.Writes++
+	} else {
+		pi.Reads++
+	}
+
+	// Advance the global cooling clock when any page accumulates the
+	// cooling threshold of samples; other pages cool lazily when next
+	// sampled (§3.1).
+	if h.cfg.CoolingEnabled && pi.Reads+pi.Writes >= h.cfg.CoolThreshold {
+		h.clock++
+		h.stats.CoolEpochs++
+		h.cool(pi)
+	}
+
+	h.classify(pi)
+}
+
+// cool halves the page's counters once per elapsed cooling epoch and
+// refreshes its write-heavy status. A write-heavy page that cools below
+// the write threshold gets a second chance on the plain hot list (§3.3).
+func (h *HeMem) cool(pi *PageInfo) {
+	epochs := h.clock - pi.CoolClock
+	if epochs > 30 {
+		epochs = 30
+	}
+	pi.Reads >>= epochs
+	pi.Writes >>= epochs
+	pi.CoolClock = h.clock
+	if pi.WriteHeavy && pi.Writes < h.cfg.HotWriteThreshold {
+		pi.WriteHeavy = false
+		if h.isHot(pi) && pi.list != nil {
+			// Second chance: back of the hot list for its tier.
+			h.hotList(pi.Page.Tier).PushBack(pi)
+		}
+	}
+	if !h.isHot(pi) && pi.list != nil && h.inHotList(pi) {
+		h.coldList(pi.Page.Tier).PushBack(pi)
+	}
+}
+
+// isHot reports whether the page's counters meet a hot threshold.
+func (h *HeMem) isHot(pi *PageInfo) bool {
+	return pi.Reads >= h.cfg.HotReadThreshold || pi.Writes >= h.cfg.HotWriteThreshold
+}
+
+// inHotList reports whether pi currently sits on a hot list.
+func (h *HeMem) inHotList(pi *PageInfo) bool {
+	return pi.list == &h.dramHot || pi.list == &h.nvmHot
+}
+
+func (h *HeMem) hotList(t vm.Tier) *List {
+	if t == vm.TierDRAM {
+		return &h.dramHot
+	}
+	// Hot disk pages queue on the NVM hot list: the swap-in policy moves
+	// them up before the promotion scan considers them for DRAM.
+	return &h.nvmHot
+}
+
+func (h *HeMem) coldList(t vm.Tier) *List {
+	switch t {
+	case vm.TierDRAM:
+		return &h.dramCold
+	case vm.TierDisk:
+		return &h.diskCold
+	default:
+		return &h.nvmCold
+	}
+}
+
+// classify moves the page onto the right list after a counter update.
+func (h *HeMem) classify(pi *PageInfo) {
+	if pi.list == nil {
+		return // in flight; re-listed on migration completion
+	}
+	writeHeavy := h.cfg.WritePriority && pi.Writes >= h.cfg.HotWriteThreshold
+	if writeHeavy && !pi.WriteHeavy {
+		pi.WriteHeavy = true
+		h.hotList(pi.Page.Tier).PushFront(pi)
+		return
+	}
+	if h.isHot(pi) && !h.inHotList(pi) {
+		if pi.WriteHeavy {
+			h.hotList(pi.Page.Tier).PushFront(pi)
+		} else {
+			h.hotList(pi.Page.Tier).PushBack(pi)
+		}
+	}
+}
+
+// policy is the 10 ms migration tick (§3.3): keep the DRAM free watermark,
+// then promote hot NVM pages — write-heavy first — swapping against cold
+// DRAM pages when DRAM is full. If there are neither free nor cold DRAM
+// pages, the hot set exceeds DRAM and migration stops.
+func (h *HeMem) policy() {
+	if !h.cfg.MigrationEnabled {
+		return
+	}
+	ps := h.m.Cfg.PageSize
+	budget := int64(h.cfg.MigRateCap * float64(h.cfg.PolicyInterval))
+	// Keep the queue bounded: don't outrun the migrator.
+	if backlog := int64(h.m.Migrator.QueuedBytes()); backlog >= budget {
+		return
+	}
+
+	// Watermark: force eviction when free DRAM dips below the target so
+	// new allocations keep landing in fast memory.
+	for h.dramFree() < h.cfg.FreeDRAMTarget && budget > 0 {
+		victim := h.dramCold.PopFront()
+		if victim == nil {
+			// No cold data: evict from the back of the hot list
+			// ("HeMem migrates random data to NVM", §3.3).
+			victim = h.dramHot.Back()
+			if victim == nil {
+				break
+			}
+			h.dramHot.Remove(victim)
+		}
+		h.demote(victim)
+		budget -= ps
+	}
+
+	if h.cfg.EnableSwap {
+		// Swap work gets at most half the tick budget so DRAM
+		// promotion is never starved by disk churn.
+		half := budget / 2
+		spent := half - h.swapPolicy(half)
+		budget -= spent
+	}
+
+	// Promote hot NVM pages while DRAM slots exist.
+	for budget > 0 {
+		cand := h.nvmHot.Front()
+		if cand == nil {
+			break
+		}
+		if h.dramFree() >= h.cfg.FreeDRAMTarget+ps {
+			h.nvmHot.Remove(cand)
+			h.promote(cand)
+			budget -= ps
+			continue
+		}
+		victim := h.dramCold.PopFront()
+		if victim == nil {
+			// Hot set ≥ DRAM capacity: stop migrating (§3.3).
+			break
+		}
+		h.nvmHot.Remove(cand)
+		h.demote(victim)
+		h.promote(cand)
+		budget -= 2 * ps
+	}
+}
+
+// dramFree returns uncommitted DRAM bytes.
+func (h *HeMem) dramFree() int64 { return h.m.Cfg.DRAMSize - h.dramUsed }
+
+// nvmFree returns uncommitted NVM bytes.
+func (h *HeMem) nvmFree() int64 { return h.m.Cfg.NVMSize - h.nvmUsed }
+
+// swapPolicy runs the optional third-tier policy (§3.4): swap in any
+// disk-resident pages that traffic has reached (their accesses fault
+// synchronously, so getting them off disk dominates everything else), and
+// keep an NVM headroom by swapping the coldest NVM pages out.
+func (h *HeMem) swapPolicy(budget int64) int64 {
+	ps := h.m.Cfg.PageSize
+	// Swap-in: walk sets with live traffic and disk-resident pages.
+	for _, set := range h.m.RateSets() {
+		r := h.m.Rates(set)
+		if r.ReadRate+r.WriteRate == 0 || set.Count(vm.TierDisk) == 0 {
+			continue
+		}
+		for budget > 0 && set.Count(vm.TierDisk) > 0 {
+			if h.nvmFree() < h.cfg.FreeNVMTarget+ps {
+				// Exchange: push a cold NVM page out to make room.
+				victim := h.nvmCold.PopFront()
+				if victim == nil || !h.m.Migrator.Enqueue(victim.Page, vm.TierDisk) {
+					if victim != nil {
+						h.nvmCold.PushBack(victim)
+					}
+					break
+				}
+				h.nvmUsed -= ps
+				h.stats.SwapOuts++
+				budget -= ps
+			}
+			p := h.pickDisk(set)
+			if p == nil {
+				break
+			}
+			if h.m.Migrator.Enqueue(p, vm.TierNVM) {
+				h.nvmUsed += ps
+				h.stats.SwapIns++
+				budget -= ps
+			} else {
+				break
+			}
+		}
+	}
+	// Swap-out: keep NVM headroom by evicting the coldest NVM pages.
+	for h.nvmFree() < h.cfg.FreeNVMTarget && budget > 0 {
+		victim := h.nvmCold.PopFront()
+		if victim == nil {
+			break
+		}
+		if h.m.Migrator.Enqueue(victim.Page, vm.TierDisk) {
+			h.nvmUsed -= ps
+			h.stats.SwapOuts++
+			budget -= ps
+		} else {
+			h.nvmCold.PushBack(victim)
+			break
+		}
+	}
+	return budget
+}
+
+// pickDisk returns a non-migrating disk-resident page of set.
+func (h *HeMem) pickDisk(set *vm.PageSet) *vm.Page {
+	n := set.Len()
+	cur := h.diskCursor[set]
+	for i := 0; i < n; i++ {
+		p := set.Page((cur + i) % n)
+		if p.Tier == vm.TierDisk && !p.Migrating {
+			if h.diskCursor == nil {
+				h.diskCursor = make(map[*vm.PageSet]int)
+			}
+			h.diskCursor[set] = (cur + i + 1) % n
+			return p
+		}
+	}
+	return nil
+}
+
+// promote enqueues an NVM→DRAM move and commits the DRAM space.
+func (h *HeMem) promote(pi *PageInfo) {
+	if h.m.Migrator.Enqueue(pi.Page, vm.TierDRAM) {
+		h.dramUsed += h.m.Cfg.PageSize
+		h.nvmUsed -= h.m.Cfg.PageSize
+		h.stats.Promotions++
+	} else {
+		h.hotList(pi.Page.Tier).PushBack(pi)
+	}
+}
+
+// demote enqueues a DRAM→NVM move and releases the DRAM space.
+func (h *HeMem) demote(pi *PageInfo) {
+	if h.m.Migrator.Enqueue(pi.Page, vm.TierNVM) {
+		h.dramUsed -= h.m.Cfg.PageSize
+		h.nvmUsed += h.m.Cfg.PageSize
+		h.stats.Demotions++
+	} else {
+		h.coldList(pi.Page.Tier).PushBack(pi)
+	}
+}
+
+// OnMigrated implements machine.MigrationObserver: place the landed page
+// on the list matching its (possibly cooled) state.
+func (h *HeMem) OnMigrated(p *vm.Page) {
+	pi := h.info(p.ID)
+	if pi == nil {
+		return
+	}
+	if h.isHot(pi) {
+		if pi.WriteHeavy {
+			h.hotList(p.Tier).PushFront(pi)
+		} else {
+			h.hotList(p.Tier).PushBack(pi)
+		}
+	} else {
+		h.coldList(p.Tier).PushBack(pi)
+	}
+}
+
+// HotBytes returns the bytes currently on the hot list of tier t.
+func (h *HeMem) HotBytes(t vm.Tier) int64 {
+	return int64(h.hotList(t).Len()) * h.m.Cfg.PageSize
+}
+
+// ColdBytes returns the bytes currently on the cold list of tier t.
+func (h *HeMem) ColdBytes(t vm.Tier) int64 {
+	return int64(h.coldList(t).Len()) * h.m.Cfg.PageSize
+}
+
+// DRAMUsed returns committed DRAM bytes.
+func (h *HeMem) DRAMUsed() int64 { return h.dramUsed }
+
+func (h *HeMem) String() string {
+	return fmt.Sprintf("hemem{dram hot=%d cold=%d, nvm hot=%d cold=%d, clock=%d}",
+		h.dramHot.Len(), h.dramCold.Len(), h.nvmHot.Len(), h.nvmCold.Len(), h.clock)
+}

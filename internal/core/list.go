@@ -1,0 +1,114 @@
+// Package core implements HeMem itself (§3): the user-level tiered memory
+// manager with PEBS-based asynchronous access sampling, hot/cold FIFO
+// queues per memory type, clock-based cooling, write-heavy prioritization,
+// and an asynchronous migration policy that runs every 10 ms.
+package core
+
+import "github.com/tieredmem/hemem/internal/vm"
+
+// PageInfo is HeMem's per-page tracking state. HeMem tracks at huge-page
+// granularity: counters accumulate PEBS samples, and the cooling clock
+// halves them lazily (§3.1).
+type PageInfo struct {
+	Page *vm.Page
+
+	// Reads and Writes count PEBS samples since the last cooling.
+	Reads  int
+	Writes int
+	// CoolClock is the global cooling epoch this page was last cooled
+	// at; a mismatch with the engine clock cools the page lazily before
+	// the next sample is applied.
+	CoolClock uint64
+	// WriteHeavy marks pages whose store samples crossed the write
+	// threshold; they get migration priority (§3.3).
+	WriteHeavy bool
+
+	list       *List
+	prev, next *PageInfo
+}
+
+// InList returns the list currently holding the page, or nil (in flight).
+func (pi *PageInfo) InList() *List { return pi.list }
+
+// List is an intrusive doubly-linked FIFO queue of PageInfo, the structure
+// behind HeMem's hot, cold, and free queues. PushBack enqueues normally;
+// PushFront implements write-heavy priority ("HeMem moves it to the front
+// of the hot list").
+type List struct {
+	Name       string
+	head, tail *PageInfo
+	n          int
+}
+
+// Len returns the number of queued pages.
+func (l *List) Len() int { return l.n }
+
+// Front returns the head without removing it, or nil.
+func (l *List) Front() *PageInfo { return l.head }
+
+// Back returns the tail without removing it, or nil.
+func (l *List) Back() *PageInfo { return l.tail }
+
+// PushBack appends pi, removing it from any list it is currently on.
+func (l *List) PushBack(pi *PageInfo) {
+	if pi.list != nil {
+		pi.list.Remove(pi)
+	}
+	pi.list = l
+	pi.prev = l.tail
+	pi.next = nil
+	if l.tail != nil {
+		l.tail.next = pi
+	} else {
+		l.head = pi
+	}
+	l.tail = pi
+	l.n++
+}
+
+// PushFront prepends pi (priority insertion), removing it from any list it
+// is currently on.
+func (l *List) PushFront(pi *PageInfo) {
+	if pi.list != nil {
+		pi.list.Remove(pi)
+	}
+	pi.list = l
+	pi.next = l.head
+	pi.prev = nil
+	if l.head != nil {
+		l.head.prev = pi
+	} else {
+		l.tail = pi
+	}
+	l.head = pi
+	l.n++
+}
+
+// PopFront removes and returns the head, or nil if empty.
+func (l *List) PopFront() *PageInfo {
+	pi := l.head
+	if pi == nil {
+		return nil
+	}
+	l.Remove(pi)
+	return pi
+}
+
+// Remove unlinks pi from this list. pi must be on l.
+func (l *List) Remove(pi *PageInfo) {
+	if pi.list != l {
+		panic("core: removing page from wrong list")
+	}
+	if pi.prev != nil {
+		pi.prev.next = pi.next
+	} else {
+		l.head = pi.next
+	}
+	if pi.next != nil {
+		pi.next.prev = pi.prev
+	} else {
+		l.tail = pi.prev
+	}
+	pi.prev, pi.next, pi.list = nil, nil, nil
+	l.n--
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestListFIFO(t *testing.T) {
+	var l List
+	a, b, c := &PageInfo{}, &PageInfo{}, &PageInfo{}
+	l.PushBack(a)
+	l.PushBack(b)
+	l.PushBack(c)
+	if l.Len() != 3 || l.Front() != a || l.Back() != c {
+		t.Fatalf("list state wrong: len=%d", l.Len())
+	}
+	if got := l.PopFront(); got != a {
+		t.Fatal("PopFront != a")
+	}
+	if got := l.PopFront(); got != b {
+		t.Fatal("PopFront != b")
+	}
+	if got := l.PopFront(); got != c {
+		t.Fatal("PopFront != c")
+	}
+	if l.PopFront() != nil || l.Len() != 0 {
+		t.Fatal("empty list not empty")
+	}
+}
+
+func TestListPushFrontPriority(t *testing.T) {
+	var l List
+	a, b, w := &PageInfo{}, &PageInfo{}, &PageInfo{}
+	l.PushBack(a)
+	l.PushBack(b)
+	l.PushFront(w) // write-heavy priority
+	if l.PopFront() != w || l.PopFront() != a || l.PopFront() != b {
+		t.Fatal("PushFront did not prioritize")
+	}
+}
+
+func TestListMoveBetweenLists(t *testing.T) {
+	var hot, cold List
+	p := &PageInfo{}
+	hot.PushBack(p)
+	if p.InList() != &hot {
+		t.Fatal("not on hot")
+	}
+	// Pushing onto another list implicitly removes from the first.
+	cold.PushBack(p)
+	if hot.Len() != 0 || cold.Len() != 1 || p.InList() != &cold {
+		t.Fatal("implicit move failed")
+	}
+}
+
+func TestListRemoveMiddle(t *testing.T) {
+	var l List
+	ps := make([]*PageInfo, 5)
+	for i := range ps {
+		ps[i] = &PageInfo{}
+		l.PushBack(ps[i])
+	}
+	l.Remove(ps[2])
+	want := []*PageInfo{ps[0], ps[1], ps[3], ps[4]}
+	for _, w := range want {
+		if got := l.PopFront(); got != w {
+			t.Fatal("order broken after middle removal")
+		}
+	}
+}
+
+func TestListRemoveWrongListPanics(t *testing.T) {
+	var a, b List
+	p := &PageInfo{}
+	a.PushBack(p)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Remove from wrong list did not panic")
+		}
+	}()
+	b.Remove(p)
+}
+
+// Property: any sequence of operations keeps Len consistent with an oracle
+// slice and preserves FIFO order.
+func TestListModelCheck(t *testing.T) {
+	f := func(ops []uint8) bool {
+		var l List
+		var oracle []*PageInfo
+		pool := make([]*PageInfo, 16)
+		for i := range pool {
+			pool[i] = &PageInfo{}
+		}
+		for _, op := range ops {
+			p := pool[int(op)%len(pool)]
+			switch (op / 16) % 3 {
+			case 0: // PushBack
+				if p.InList() == &l {
+					for i, q := range oracle {
+						if q == p {
+							oracle = append(oracle[:i], oracle[i+1:]...)
+							break
+						}
+					}
+				}
+				l.PushBack(p)
+				oracle = append(oracle, p)
+			case 1: // PushFront
+				if p.InList() == &l {
+					for i, q := range oracle {
+						if q == p {
+							oracle = append(oracle[:i], oracle[i+1:]...)
+							break
+						}
+					}
+				}
+				l.PushFront(p)
+				oracle = append([]*PageInfo{p}, oracle...)
+			case 2: // PopFront
+				got := l.PopFront()
+				if len(oracle) == 0 {
+					if got != nil {
+						return false
+					}
+				} else {
+					if got != oracle[0] {
+						return false
+					}
+					oracle = oracle[1:]
+				}
+			}
+			if l.Len() != len(oracle) {
+				return false
+			}
+		}
+		// Drain and compare.
+		for _, w := range oracle {
+			if l.PopFront() != w {
+				return false
+			}
+		}
+		return l.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

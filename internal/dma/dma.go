@@ -1,0 +1,179 @@
+// Package dma models the Intel I/OAT DMA engine HeMem offloads page
+// migration to (§3.2). The paper's kernel extension exposes a copy ioctl
+// that accepts batches of up to 32 requests spread over a set of DMA
+// channels; the authors measure that batches of 4 requests over 2 channels
+// maximize copy throughput on their system, and that without a DMA engine,
+// 4 copy threads maximize software copy performance.
+//
+// The model captures the constants behind those optima: a per-ioctl syscall
+// cost amortized by batching, a per-request descriptor cost that grows with
+// batch size (descriptor-ring pressure), a per-channel setup cost, per-
+// channel bandwidth, and a shared engine ceiling that two channels already
+// saturate.
+package dma
+
+import (
+	"github.com/tieredmem/hemem/internal/sim"
+)
+
+// Config holds the engine cost model parameters.
+type Config struct {
+	// ChannelBW is per-channel copy bandwidth in bytes/ns.
+	ChannelBW float64
+	// EngineCap is the shared ceiling across channels in bytes/ns.
+	EngineCap float64
+	// SyscallBase is the fixed cost of one copy ioctl (ns).
+	SyscallBase int64
+	// PerRequest is the kernel descriptor setup cost per request (ns).
+	PerRequest int64
+	// PerRequestSlope scales extra per-request cost with batch size
+	// (descriptor-ring and completion-tracking pressure).
+	PerRequestSlope float64
+	// ChannelSetup is the per-request cost of engaging one channel (ns).
+	ChannelSetup int64
+	// MaxBatch is the largest batch one ioctl accepts (the paper's
+	// extension allows 32).
+	MaxBatch int
+	// MaxChannels is how many channels the allocator may hand out.
+	MaxChannels int
+}
+
+// DefaultConfig returns the calibrated I/OAT model.
+func DefaultConfig() Config {
+	return Config{
+		ChannelBW:       sim.GBps(3.3),
+		EngineCap:       sim.GBps(6.6),
+		SyscallBase:     1800,
+		PerRequest:      400,
+		PerRequestSlope: 0.25, // +25% of PerRequest per extra batched request
+		ChannelSetup:    500,
+		MaxBatch:        32,
+		MaxChannels:     8,
+	}
+}
+
+// Engine is a DMA engine instance.
+type Engine struct {
+	cfg Config
+	// copiedBytes accounts total bytes moved, for reporting.
+	copiedBytes float64
+}
+
+// New returns an engine with cfg; zero-value fields fall back to defaults.
+func New(cfg Config) *Engine {
+	def := DefaultConfig()
+	if cfg.ChannelBW == 0 {
+		cfg = def
+	}
+	return &Engine{cfg: cfg}
+}
+
+// Config returns the engine's parameters.
+func (e *Engine) Config() Config { return e.cfg }
+
+// BatchTime returns the time in ns to complete one ioctl carrying batch
+// requests of reqSize bytes each, striped over channels.
+func (e *Engine) BatchTime(batch, channels int, reqSize int64) int64 {
+	batch, channels = e.clamp(batch, channels)
+	bw := e.cfg.ChannelBW * float64(channels)
+	if bw > e.cfg.EngineCap {
+		bw = e.cfg.EngineCap
+	}
+	perReq := float64(e.cfg.PerRequest) * (1 + e.cfg.PerRequestSlope*float64(batch-1))
+	setup := float64(e.cfg.SyscallBase) +
+		float64(batch)*(perReq+float64(e.cfg.ChannelSetup)*float64(channels))
+	transfer := float64(batch) * float64(reqSize) / bw
+	return int64(setup + transfer)
+}
+
+// clamp bounds batch and channel counts to the engine's valid ranges.
+func (e *Engine) clamp(batch, channels int) (int, int) {
+	if batch < 1 {
+		batch = 1
+	}
+	if batch > e.cfg.MaxBatch {
+		batch = e.cfg.MaxBatch
+	}
+	if channels < 1 {
+		channels = 1
+	}
+	if channels > e.cfg.MaxChannels {
+		channels = e.cfg.MaxChannels
+	}
+	return batch, channels
+}
+
+// Throughput returns sustained copy bandwidth in bytes/ns when issuing
+// back-to-back ioctls with the given batch/channel configuration.
+func (e *Engine) Throughput(batch, channels int, reqSize int64) float64 {
+	batch, channels = e.clamp(batch, channels)
+	t := e.BatchTime(batch, channels, reqSize)
+	if t <= 0 {
+		return 0
+	}
+	return float64(batch) * float64(reqSize) / float64(t)
+}
+
+// BestConfig searches batch sizes and channel counts for the highest-
+// throughput configuration at the given request size. On the default
+// model with 4 KB requests this lands on batch 4, 2 channels — the paper's
+// experimentally determined optimum.
+func (e *Engine) BestConfig(reqSize int64) (batch, channels int) {
+	best := 0.0
+	batch, channels = 1, 1
+	for b := 1; b <= e.cfg.MaxBatch; b++ {
+		for c := 1; c <= e.cfg.MaxChannels; c++ {
+			if tp := e.Throughput(b, c, reqSize); tp > best {
+				best, batch, channels = tp, b, c
+			}
+		}
+	}
+	return batch, channels
+}
+
+// Copy accounts a bulk copy of size bytes and returns its duration using
+// the engine's best configuration for 2 MB page requests. The engine
+// consumes no CPU cores — that is its advantage over thread copying.
+func (e *Engine) Copy(size int64) int64 {
+	e.copiedBytes += float64(size)
+	const pageReq = 2 * 1024 * 1024
+	tp := e.Throughput(4, 2, pageReq)
+	return int64(float64(size) / tp)
+}
+
+// CopiedBytes returns total bytes moved through the engine.
+func (e *Engine) CopiedBytes() float64 { return e.copiedBytes }
+
+// ThreadCopier models the fallback migration path: dedicated CPU threads
+// copying pages with memcpy, akin to Nimble. The paper finds 4 threads
+// maximize copy performance (the destination NVM write bandwidth saturates
+// there); each thread occupies one core.
+type ThreadCopier struct {
+	// Threads is the number of copy threads (cores consumed).
+	Threads int
+	// PerThreadBW is the per-thread memcpy bandwidth in bytes/ns.
+	PerThreadBW float64
+	// CapBW bounds the aggregate (destination device ceiling).
+	CapBW float64
+}
+
+// NewThreadCopier returns the calibrated software copier.
+func NewThreadCopier(threads int) *ThreadCopier {
+	if threads < 1 {
+		threads = 1
+	}
+	return &ThreadCopier{
+		Threads:     threads,
+		PerThreadBW: sim.GBps(1.3),
+		CapBW:       sim.GBps(4.8),
+	}
+}
+
+// Throughput returns aggregate copy bandwidth in bytes/ns.
+func (c *ThreadCopier) Throughput() float64 {
+	bw := c.PerThreadBW * float64(c.Threads)
+	if bw > c.CapBW {
+		bw = c.CapBW
+	}
+	return bw
+}

@@ -1,0 +1,81 @@
+package gap
+
+import "github.com/tieredmem/hemem/internal/sim"
+
+// BC computes approximate betweenness centrality by Brandes' algorithm
+// from iterations randomly chosen source vertices, exactly as the paper's
+// experiment runs it ("15 iterations of the betweenness centrality
+// algorithm ... which we choose randomly on each iteration").
+//
+// Each iteration is a forward BFS computing shortest-path counts (sigma)
+// and depths, followed by a backward dependency accumulation (delta).
+func BC(g *Graph, iterations int, seed uint64) []float64 {
+	scores := make([]float64, g.N)
+	rng := sim.NewRand(seed ^ 0xbc)
+	for it := 0; it < iterations; it++ {
+		src := uint32(rng.Intn(g.N))
+		BCIteration(g, src, scores)
+	}
+	return scores
+}
+
+// BCIteration runs one Brandes iteration from src, accumulating into
+// scores.
+func BCIteration(g *Graph, src uint32, scores []float64) {
+	depth := make([]int32, g.N)
+	for i := range depth {
+		depth[i] = -1
+	}
+	sigma := make([]float64, g.N)
+	delta := make([]float64, g.N)
+
+	// Forward BFS recording the level order.
+	order := make([]uint32, 0, g.N)
+	frontier := []uint32{src}
+	depth[src] = 0
+	sigma[src] = 1
+	for len(frontier) > 0 {
+		var next []uint32
+		for _, u := range frontier {
+			order = append(order, u)
+			du := depth[u]
+			for _, v := range g.Adj(u) {
+				if depth[v] < 0 {
+					depth[v] = du + 1
+					next = append(next, v)
+				}
+				if depth[v] == du+1 {
+					sigma[v] += sigma[u]
+				}
+			}
+		}
+		frontier = next
+	}
+
+	// Backward accumulation in reverse BFS order.
+	for i := len(order) - 1; i >= 0; i-- {
+		u := order[i]
+		du := depth[u]
+		coeff := (1 + delta[u]) / sigma[u]
+		for _, v := range g.Adj(u) {
+			if depth[v] == du-1 {
+				delta[v] += sigma[v] * coeff
+			}
+		}
+	}
+	for v := 0; v < g.N; v++ {
+		if uint32(v) != src {
+			scores[v] += delta[v]
+		}
+	}
+}
+
+// BCExact computes exact betweenness centrality from every source — the
+// O(VE) oracle used by tests on small graphs.
+func BCExact(g *Graph) []float64 {
+	scores := make([]float64, g.N)
+	for s := 0; s < g.N; s++ {
+		BCIteration(g, uint32(s), scores)
+	}
+	return scores
+}

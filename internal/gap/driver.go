@@ -1,0 +1,200 @@
+package gap
+
+import (
+	"fmt"
+
+	"github.com/tieredmem/hemem/internal/machine"
+	"github.com/tieredmem/hemem/internal/mem"
+	"github.com/tieredmem/hemem/internal/vm"
+)
+
+// DriverConfig parameterizes the simulated BC run of §5.2.3.
+type DriverConfig struct {
+	// Scale is log2 of the vertex count (the paper runs 2^28, which fits
+	// the 192 GB DRAM, and 2^29, which exceeds it).
+	Scale int
+	// EdgeFactor is directed edges per vertex (16).
+	EdgeFactor int
+	// Threads is the worker count.
+	Threads int
+	// Iterations is the number of BC source iterations (paper: 15).
+	Iterations int
+	// EdgeVisitScale shortens iterations for tests: the fraction of the
+	// full 2·E edge visits each iteration performs (default 1).
+	EdgeVisitScale float64
+	// CalibrationScale is the (small) scale at which a real Kronecker
+	// graph is generated to measure the page-level degree skew that
+	// parameterizes the traffic zones (default 18).
+	CalibrationScale int
+	// Seed drives generation and source choice.
+	Seed uint64
+}
+
+// BytesPerVertex is the modelled in-memory footprint per vertex: both
+// CSR directions (2×16 neighbor entries × 8 B), offsets, and the BC arrays
+// (scores, sigma, depth, delta, frontier and successor structures) plus
+// builder slack. 400 B/vertex puts 2^28 at ~100 GB (fits DRAM) and 2^29 at
+// ~200 GB (exceeds it), matching the paper's framing.
+const BytesPerVertex = 400
+
+// vertexZones is how many degree-ordered zones the vertex arrays are split
+// into for traffic modelling.
+const vertexZones = 3
+
+// Driver is the simulated BC workload.
+type Driver struct {
+	cfg DriverConfig
+
+	neighborsRegion *vm.Region
+	vertexRegion    *vm.Region
+	vertexSets      [vertexZones]*vm.PageSet
+	zoneTraffic     [vertexZones]float64
+
+	comps     []machine.Component
+	opsPerIt  float64
+	totalOps  float64
+	iterDone  []int64   // completion time of each iteration
+	iterWear  []float64 // cumulative NVM write bytes at each completion
+	m         *machine.Machine
+	startWear float64
+}
+
+// NewDriver maps the graph's memory on m and registers the workload. A
+// real Kronecker graph at CalibrationScale measures the degree skew used
+// to split the vertex arrays into hot/warm/cold zones.
+func NewDriver(m *machine.Machine, cfg DriverConfig) *Driver {
+	if cfg.EdgeFactor == 0 {
+		cfg.EdgeFactor = 16
+	}
+	if cfg.Threads == 0 {
+		cfg.Threads = 16
+	}
+	if cfg.Iterations == 0 {
+		cfg.Iterations = 15
+	}
+	if cfg.EdgeVisitScale == 0 {
+		cfg.EdgeVisitScale = 1
+	}
+	if cfg.CalibrationScale == 0 {
+		cfg.CalibrationScale = 18
+	}
+	d := &Driver{cfg: cfg, m: m}
+
+	v := int64(1) << cfg.Scale
+	// Neighbor arrays: 2 directions × EdgeFactor entries × 8 B.
+	neighborBytes := 2 * int64(cfg.EdgeFactor) * v * 8
+	vertexBytes := v*BytesPerVertex - neighborBytes
+	d.neighborsRegion = m.AS.Map("gap-neighbors", neighborBytes)
+	d.vertexRegion = m.AS.Map("gap-vertex", vertexBytes)
+
+	// Measure page-level degree concentration on a real (small) graph:
+	// chunk the vertex range as the full-scale pages chunk it.
+	edges := Kronecker(KroneckerConfig{Scale: cfg.CalibrationScale, EdgeFactor: cfg.EdgeFactor, Seed: cfg.Seed})
+	g := Build(1<<cfg.CalibrationScale, edges)
+	pages := d.vertexRegion.Pages
+	traffic := g.ChunkTraffic(len(pages))
+
+	// Split pages into three zones: the hottest pages covering ~40% of
+	// vertex traffic, the next ~35%, and the tail. Pages are taken in id
+	// order (hubs cluster at low ids).
+	type zoneDef struct{ target float64 }
+	defs := [vertexZones]zoneDef{{0.40}, {0.35}, {1.0}}
+	idx := 0
+	for z := 0; z < vertexZones; z++ {
+		var zonePages []*vm.Page
+		var zoneTr float64
+		for idx < len(pages) {
+			zonePages = append(zonePages, pages[idx])
+			zoneTr += traffic[idx]
+			idx++
+			if z < vertexZones-1 && zoneTr >= defs[z].target && len(pages)-idx > vertexZones-z {
+				break
+			}
+		}
+		d.vertexSets[z] = vm.NewPageSet(fmt.Sprintf("gap-vertex-z%d", z), zonePages)
+		d.zoneTraffic[z] = zoneTr
+	}
+
+	// One op = one edge visit: stream the neighbor entry, then touch the
+	// endpoint's vertex data — a random read (sigma/depth) and a random
+	// write (sigma or delta accumulation). BC's vertex updates make the
+	// hub zones write-intensive ("the BC data structures are write
+	// intensive", §5.2.3).
+	neighborsSet := d.neighborsRegion.AsSet()
+	d.comps = []machine.Component{
+		{Set: neighborsSet, Share: 1, ReadBytes: 8, Pattern: mem.Sequential},
+	}
+	for z := 0; z < vertexZones; z++ {
+		d.comps = append(d.comps,
+			machine.Component{Set: d.vertexSets[z], Share: d.zoneTraffic[z],
+				ReadBytes: 16, Pattern: mem.Random},
+			machine.Component{Set: d.vertexSets[z], Share: d.zoneTraffic[z],
+				WriteBytes: 12, Pattern: mem.Random},
+		)
+	}
+
+	d.opsPerIt = 2 * float64(cfg.EdgeFactor) * float64(v) * cfg.EdgeVisitScale
+	m.AddWorkload(d)
+	d.startWear = m.NVM.Wear().WriteBytes
+	return d
+}
+
+// Name implements machine.Workload.
+func (d *Driver) Name() string { return "gap-bc" }
+
+// Threads implements machine.Workload.
+func (d *Driver) Threads() int { return d.cfg.Threads }
+
+// Components implements machine.Workload.
+func (d *Driver) Components() []machine.Component { return d.comps }
+
+// ComputePerOp implements machine.Computes: a few ns of instruction work
+// per edge (comparisons, queueing).
+func (d *Driver) ComputePerOp() float64 { return 4 }
+
+// OnOps implements machine.Workload: track per-iteration boundaries.
+func (d *Driver) OnOps(now int64, ops float64, opTime float64) {
+	before := int(d.totalOps / d.opsPerIt)
+	d.totalOps += ops
+	after := int(d.totalOps / d.opsPerIt)
+	for it := before; it < after && len(d.iterDone) < d.cfg.Iterations; it++ {
+		d.iterDone = append(d.iterDone, now)
+		d.iterWear = append(d.iterWear, d.m.NVM.Wear().WriteBytes)
+	}
+}
+
+// Done implements machine.Workload.
+func (d *Driver) Done() bool { return len(d.iterDone) >= d.cfg.Iterations }
+
+// IterationTimes returns the wall time of each completed iteration in ns.
+func (d *Driver) IterationTimes() []int64 {
+	out := make([]int64, len(d.iterDone))
+	prev := int64(0)
+	for i, t := range d.iterDone {
+		out[i] = t - prev
+		prev = t
+	}
+	return out
+}
+
+// IterationNVMWrites returns NVM bytes written during each iteration
+// (application stores, migrations, and cache writebacks — Figure 16).
+func (d *Driver) IterationNVMWrites() []float64 {
+	out := make([]float64, len(d.iterWear))
+	prev := d.startWear
+	for i, w := range d.iterWear {
+		out[i] = w - prev
+		prev = w
+	}
+	return out
+}
+
+// HotVertexPages returns the hottest vertex zone (write-hot hubs).
+func (d *Driver) HotVertexPages() *vm.PageSet { return d.vertexSets[0] }
+
+// Iterations returns the number of completed iterations.
+func (d *Driver) Iterations() int { return len(d.iterDone) }
+
+func (d *Driver) String() string {
+	return fmt.Sprintf("gap-bc{2^%d, %d iters}", d.cfg.Scale, d.cfg.Iterations)
+}

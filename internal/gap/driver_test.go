@@ -1,0 +1,139 @@
+package gap_test
+
+import (
+	"testing"
+
+	"github.com/tieredmem/hemem/internal/core"
+	"github.com/tieredmem/hemem/internal/gap"
+	"github.com/tieredmem/hemem/internal/machine"
+	"github.com/tieredmem/hemem/internal/memmode"
+	"github.com/tieredmem/hemem/internal/nimble"
+	"github.com/tieredmem/hemem/internal/ptscan"
+	"github.com/tieredmem/hemem/internal/sim"
+	"github.com/tieredmem/hemem/internal/vm"
+	"github.com/tieredmem/hemem/internal/xmem"
+)
+
+// runBC runs shortened BC iterations under mgr and returns the driver and
+// machine.
+func runBC(t *testing.T, mgr machine.Manager, scale, iters int) (*gap.Driver, *machine.Machine) {
+	t.Helper()
+	m := machine.New(machine.DefaultConfig(), mgr)
+	d := gap.NewDriver(m, gap.DriverConfig{
+		Scale: scale, Iterations: iters, EdgeVisitScale: 0.05, Seed: 2,
+	})
+	m.Warm()
+	m.RunUntilDone(3000 * sim.Second)
+	if d.Iterations() != iters {
+		t.Fatalf("%s: completed %d/%d iterations", mgr.Name(), d.Iterations(), iters)
+	}
+	return d, m
+}
+
+func meanNs(ts []int64) float64 {
+	var s int64
+	for _, t := range ts {
+		s += t
+	}
+	return float64(s) / float64(len(ts))
+}
+
+// Figure 14 (2^28 vertices, fits DRAM): HeMem ≈ DRAM-only; MM suffers
+// badly (paper: HeMem 93% faster on average); Nimble lands between,
+// beating MM (paper: +32% over MM) but trailing HeMem.
+func TestFig14RelativeOrder(t *testing.T) {
+	const scale, iters = 28, 6
+	dram, _ := runBC(t, xmem.DRAMFirst(), scale, iters)
+	hemem, _ := runBC(t, core.New(core.DefaultConfig()), scale, iters)
+	nb, _ := runBC(t, nimble.New(), scale, iters)
+	mm, _ := runBC(t, memmode.New(), scale, iters)
+
+	tD := meanNs(dram.IterationTimes())
+	tH := meanNs(hemem.IterationTimes())
+	tN := meanNs(nb.IterationTimes())
+	tM := meanNs(mm.IterationTimes())
+
+	if tH > tD*1.1 {
+		t.Errorf("HeMem (%.1fs) should match DRAM-only (%.1fs)", tH/1e9, tD/1e9)
+	}
+	if tM < tH*1.5 {
+		t.Errorf("MM (%.1fs) should be well above HeMem (%.1fs); paper: +93%%", tM/1e9, tH/1e9)
+	}
+	if tN <= tH || tN >= tM {
+		t.Errorf("Nimble (%.1fs) should sit between HeMem (%.1fs) and MM (%.1fs)", tN/1e9, tH/1e9, tM/1e9)
+	}
+}
+
+// Figure 15 (2^29 vertices, exceeds DRAM): HeMem fastest; Nimble +36%-ish;
+// MM slowest; PT-Async starts slower and converges.
+func TestFig15RelativeOrder(t *testing.T) {
+	const scale, iters = 29, 6
+	hemem, _ := runBC(t, core.New(core.DefaultConfig()), scale, iters)
+	pt, _ := runBC(t, ptscan.New(ptscan.HeMemPTAsync()), scale, iters)
+	nb, _ := runBC(t, nimble.New(), scale, iters)
+	mm, _ := runBC(t, memmode.New(), scale, iters)
+
+	tH := meanNs(hemem.IterationTimes())
+	tP := meanNs(pt.IterationTimes())
+	tN := meanNs(nb.IterationTimes())
+	tM := meanNs(mm.IterationTimes())
+
+	if tN <= tH {
+		t.Errorf("Nimble (%.1fs) should trail HeMem (%.1fs); paper: +36%%", tN/1e9, tH/1e9)
+	}
+	if tM <= tN {
+		t.Errorf("MM (%.1fs) should be slowest (Nimble %.1fs); paper: HeMem +58%% over MM", tM/1e9, tN/1e9)
+	}
+	if tP <= tH {
+		t.Errorf("PT-Async (%.1fs) should trail HeMem (%.1fs)", tP/1e9, tH/1e9)
+	}
+	// PT-Async's first iteration is its worst (extra migrations while it
+	// identifies the hot graph parts, §5.2.3).
+	ts := pt.IterationTimes()
+	if ts[0] < ts[len(ts)-1] {
+		t.Errorf("PT-Async first iteration (%.1fs) should be ≥ last (%.1fs)",
+			float64(ts[0])/1e9, float64(ts[len(ts)-1])/1e9)
+	}
+}
+
+// Figure 16: NVM writes per BC iteration on 2^29. MM writes NVM constantly
+// (dirty-line evictions); HeMem identifies the write-hot vertices and
+// makes ~10× fewer writes.
+func TestFig16NVMWear(t *testing.T) {
+	const scale, iters = 29, 6
+	hemem, _ := runBC(t, core.New(core.DefaultConfig()), scale, iters)
+	mm, _ := runBC(t, memmode.New(), scale, iters)
+
+	hw := hemem.IterationNVMWrites()
+	mw := mm.IterationNVMWrites()
+	last := len(hw) - 1
+	if mw[last] < 5*hw[last] {
+		t.Errorf("steady-state NVM writes: MM %.1fGB vs HeMem %.1fGB, want ~10×",
+			mw[last]/float64(sim.GB), hw[last]/float64(sim.GB))
+	}
+	// MM's writes are roughly constant across iterations.
+	if mw[last] < mw[0]*0.8 || mw[last] > mw[0]*1.2 {
+		t.Errorf("MM wear should be constant: %.1f → %.1f GB", mw[0]/float64(sim.GB), mw[last]/float64(sim.GB))
+	}
+}
+
+// HeMem keeps the write-hot hub vertices in DRAM at 2^29.
+func TestHubVerticesMigrateToDRAM(t *testing.T) {
+	d, _ := runBC(t, core.New(core.DefaultConfig()), 29, 6)
+	if f := d.HotVertexPages().Frac(vm.TierDRAM); f < 0.9 {
+		t.Errorf("hub vertex pages DRAM fraction = %.2f", f)
+	}
+}
+
+// The whole graph in NVM is far slower than any tiering system (the paper
+// omits it from the figure at 16–17× worse).
+func TestNVMOnlyFarWorse(t *testing.T) {
+	const scale, iters = 28, 3
+	hemem, _ := runBC(t, core.New(core.DefaultConfig()), scale, iters)
+	nvm, _ := runBC(t, xmem.NVMOnly(), scale, iters)
+	tH := meanNs(hemem.IterationTimes())
+	tN := meanNs(nvm.IterationTimes())
+	if tN < tH*3 {
+		t.Errorf("NVM-only (%.1fs) should be ≫ HeMem (%.1fs); paper: 16×", tN/1e9, tH/1e9)
+	}
+}

@@ -1,0 +1,163 @@
+// Package gap implements the pieces of the GAP benchmark suite the paper
+// evaluates (§5.2.3): a Graph500-style Kronecker generator producing
+// power-law graphs of average degree 16, a CSR graph representation, and
+// Brandes' betweenness-centrality (BC) algorithm.
+//
+// The generator and BC are real implementations used by tests and the
+// examples; Driver (driver.go) maps their memory footprint and per-
+// iteration traffic onto the simulated machine for Figures 14–16. Vertex
+// ids are not permuted after generation — as in GAP, high-degree vertices
+// cluster at low ids, which is the page-level locality tiered memory
+// managers exploit ("Neighbors to vertices are likely located on the same
+// memory page", §5.2.3).
+package gap
+
+import (
+	"sort"
+
+	"github.com/tieredmem/hemem/internal/sim"
+)
+
+// Edge is one directed edge.
+type Edge struct {
+	Src, Dst uint32
+}
+
+// KroneckerConfig parameterizes the generator.
+type KroneckerConfig struct {
+	// Scale is log2 of the vertex count.
+	Scale int
+	// EdgeFactor is edges per vertex (Graph500 and the paper use 16).
+	EdgeFactor int
+	// Seed makes generation deterministic.
+	Seed uint64
+}
+
+// Kronecker generates edgeFactor·2^scale edges with the Graph500
+// initiator probabilities (A=0.57, B=0.19, C=0.19, D=0.05).
+func Kronecker(cfg KroneckerConfig) []Edge {
+	if cfg.EdgeFactor == 0 {
+		cfg.EdgeFactor = 16
+	}
+	n := 1 << cfg.Scale
+	m := n * cfg.EdgeFactor
+	rng := sim.NewRand(cfg.Seed ^ 0x6b726f6e)
+	edges := make([]Edge, m)
+	const a, b, c = 0.57, 0.19, 0.19
+	for i := range edges {
+		var src, dst uint32
+		for bit := 0; bit < cfg.Scale; bit++ {
+			r := rng.Float64()
+			switch {
+			case r < a:
+				// both bits 0
+			case r < a+b:
+				dst |= 1 << bit
+			case r < a+b+c:
+				src |= 1 << bit
+			default:
+				src |= 1 << bit
+				dst |= 1 << bit
+			}
+		}
+		edges[i] = Edge{Src: src, Dst: dst}
+	}
+	return edges
+}
+
+// Graph is a symmetrized CSR graph.
+type Graph struct {
+	N         int
+	Offsets   []int64
+	Neighbors []uint32
+}
+
+// Build constructs a symmetrized CSR graph from a directed edge list,
+// dropping self-loops and keeping duplicate edges (as GAP's default
+// builder does for Kronecker inputs).
+func Build(n int, edges []Edge) *Graph {
+	deg := make([]int64, n+1)
+	for _, e := range edges {
+		if e.Src == e.Dst {
+			continue
+		}
+		deg[e.Src+1]++
+		deg[e.Dst+1]++
+	}
+	for i := 1; i <= n; i++ {
+		deg[i] += deg[i-1]
+	}
+	g := &Graph{N: n, Offsets: deg, Neighbors: make([]uint32, deg[n])}
+	cursor := make([]int64, n)
+	copy(cursor, deg[:n])
+	for _, e := range edges {
+		if e.Src == e.Dst {
+			continue
+		}
+		g.Neighbors[cursor[e.Src]] = e.Dst
+		cursor[e.Src]++
+		g.Neighbors[cursor[e.Dst]] = e.Src
+		cursor[e.Dst]++
+	}
+	return g
+}
+
+// Degree returns the (symmetrized) degree of vertex v.
+func (g *Graph) Degree(v uint32) int64 {
+	return g.Offsets[v+1] - g.Offsets[v]
+}
+
+// Adj returns the neighbor slice of v.
+func (g *Graph) Adj(v uint32) []uint32 {
+	return g.Neighbors[g.Offsets[v]:g.Offsets[v+1]]
+}
+
+// NumEdges returns the number of directed neighbor entries.
+func (g *Graph) NumEdges() int64 { return int64(len(g.Neighbors)) }
+
+// DegreeSkew summarises the traffic concentration of the graph: the
+// fraction of edge endpoints incident to the top frac of vertices by
+// degree. Power-law graphs concentrate heavily (the locality the paper's
+// page-based managers exploit).
+func (g *Graph) DegreeSkew(frac float64) float64 {
+	degs := make([]int64, g.N)
+	var total int64
+	for v := 0; v < g.N; v++ {
+		degs[v] = g.Degree(uint32(v))
+		total += degs[v]
+	}
+	sort.Slice(degs, func(i, j int) bool { return degs[i] > degs[j] })
+	top := int(float64(g.N) * frac)
+	if top < 1 {
+		top = 1
+	}
+	var sum int64
+	for _, d := range degs[:top] {
+		sum += d
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(sum) / float64(total)
+}
+
+// ChunkTraffic divides the vertex range into chunks (pages, in the
+// simulator's mapping) and returns each chunk's share of edge-endpoint
+// traffic, in vertex-id order. Because Kronecker hubs cluster at low ids,
+// early chunks carry most of the traffic.
+func (g *Graph) ChunkTraffic(chunks int) []float64 {
+	out := make([]float64, chunks)
+	var total float64
+	per := (g.N + chunks - 1) / chunks
+	for v := 0; v < g.N; v++ {
+		d := float64(g.Degree(uint32(v)))
+		out[v/per] += d
+		total += d
+	}
+	if total > 0 {
+		for i := range out {
+			out[i] /= total
+		}
+	}
+	return out
+}

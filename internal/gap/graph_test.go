@@ -1,0 +1,170 @@
+package gap
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKroneckerDeterministic(t *testing.T) {
+	cfg := KroneckerConfig{Scale: 10, EdgeFactor: 16, Seed: 7}
+	a, b := Kronecker(cfg), Kronecker(cfg)
+	if len(a) != len(b) || len(a) != 16<<10 {
+		t.Fatalf("edge counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("generator not deterministic")
+		}
+	}
+}
+
+// Kronecker graphs are power law: a small fraction of vertices carries a
+// large fraction of edges ("Power-law graphs have locality", §5.2.3).
+func TestKroneckerSkew(t *testing.T) {
+	edges := Kronecker(KroneckerConfig{Scale: 14, EdgeFactor: 16, Seed: 3})
+	g := Build(1<<14, edges)
+	if skew := g.DegreeSkew(0.01); skew < 0.15 {
+		t.Errorf("top 1%% of vertices carry %.2f of edges, want power-law concentration", skew)
+	}
+	if skew := g.DegreeSkew(0.10); skew < 0.4 {
+		t.Errorf("top 10%% of vertices carry %.2f of edges", skew)
+	}
+	// Hubs cluster at low ids: the first chunk outweighs the last.
+	tr := g.ChunkTraffic(64)
+	if tr[0] < 4*tr[63] {
+		t.Errorf("id-order locality missing: first chunk %.4f vs last %.4f", tr[0], tr[63])
+	}
+}
+
+func TestBuildCSR(t *testing.T) {
+	// Triangle plus a pendant vertex; one self loop dropped.
+	edges := []Edge{{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 3}}
+	g := Build(4, edges)
+	if g.NumEdges() != 8 {
+		t.Fatalf("directed entries = %d, want 8 (symmetrized, loop dropped)", g.NumEdges())
+	}
+	if g.Degree(2) != 3 || g.Degree(3) != 1 {
+		t.Fatalf("degrees wrong: %d, %d", g.Degree(2), g.Degree(3))
+	}
+	found := false
+	for _, n := range g.Adj(3) {
+		if n == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("symmetrized edge 3→2 missing")
+	}
+}
+
+// bcOracle computes betweenness via the pair-counting formula
+// BC(v) = Σ_{s≠v≠t} [d(s,v)+d(v,t)=d(s,t)] σ_sv σ_vt / σ_st,
+// independent of the Brandes implementation.
+func bcOracle(g *Graph) []float64 {
+	n := g.N
+	dist := make([][]int32, n)
+	sigma := make([][]float64, n)
+	for s := 0; s < n; s++ {
+		d := make([]int32, n)
+		sg := make([]float64, n)
+		for i := range d {
+			d[i] = -1
+		}
+		d[s], sg[s] = 0, 1
+		queue := []uint32{uint32(s)}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range g.Adj(u) {
+				if d[v] < 0 {
+					d[v] = d[u] + 1
+					queue = append(queue, v)
+				}
+				if d[v] == d[u]+1 {
+					sg[v] += sg[u]
+				}
+			}
+		}
+		dist[s], sigma[s] = d, sg
+	}
+	bc := make([]float64, n)
+	for s := 0; s < n; s++ {
+		for tt := 0; tt < n; tt++ {
+			if s == tt || dist[s][tt] < 0 {
+				continue
+			}
+			for v := 0; v < n; v++ {
+				if v == s || v == tt {
+					continue
+				}
+				if dist[s][v] >= 0 && dist[v][tt] >= 0 && dist[s][v]+dist[v][tt] == dist[s][tt] {
+					bc[v] += sigma[s][v] * sigma[v][tt] / sigma[s][tt]
+				}
+			}
+		}
+	}
+	return bc
+}
+
+// Brandes matches the independent pair-counting oracle on small graphs.
+func TestBCMatchesOracle(t *testing.T) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		edges := Kronecker(KroneckerConfig{Scale: 5, EdgeFactor: 4, Seed: seed})
+		g := Build(1<<5, edges)
+		got := BCExact(g)
+		want := bcOracle(g)
+		for v := range got {
+			diff := got[v] - want[v]
+			if diff < -1e-6 || diff > 1e-6 {
+				t.Fatalf("seed %d vertex %d: Brandes %.6f != oracle %.6f", seed, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+// Property: BC scores are non-negative and pendant vertices score zero.
+func TestBCProperties(t *testing.T) {
+	f := func(seed uint64) bool {
+		edges := Kronecker(KroneckerConfig{Scale: 4, EdgeFactor: 3, Seed: seed})
+		g := Build(1<<4, edges)
+		scores := BCExact(g)
+		for v, s := range scores {
+			if s < -1e-9 {
+				return false
+			}
+			if g.Degree(uint32(v)) <= 1 && s > 1e-9 {
+				return false // a degree-≤1 vertex lies on no shortest path
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The path graph 0-1-2-3-4: middle vertex lies on the most shortest paths.
+func TestBCPathGraph(t *testing.T) {
+	edges := []Edge{{0, 1}, {1, 2}, {2, 3}, {3, 4}}
+	g := Build(5, edges)
+	bc := BCExact(g)
+	// Undirected path: BC(2) = 2·(2·2) = counts both directions.
+	if bc[2] <= bc[1] || bc[1] <= bc[0] {
+		t.Fatalf("path BC ordering wrong: %v", bc)
+	}
+	if bc[0] != 0 || bc[4] != 0 {
+		t.Fatalf("endpoints must score 0: %v", bc)
+	}
+}
+
+func TestBCSampledDeterministic(t *testing.T) {
+	edges := Kronecker(KroneckerConfig{Scale: 8, EdgeFactor: 8, Seed: 5})
+	g := Build(1<<8, edges)
+	a := BC(g, 5, 42)
+	b := BC(g, 5, 42)
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatal("sampled BC not deterministic")
+		}
+	}
+}

@@ -1,0 +1,230 @@
+package gap
+
+import (
+	"sort"
+
+	"github.com/tieredmem/hemem/internal/sim"
+)
+
+// The GAP benchmark suite ships six kernels; the paper's evaluation uses
+// betweenness centrality (bc.go), and this file implements the others that
+// make the substrate a usable graph library: BFS, PageRank, connected
+// components, and triangle counting.
+
+// BFS runs a breadth-first search from src and returns the parent array
+// (-1 for unreached vertices, src's parent is itself).
+func BFS(g *Graph, src uint32) []int32 {
+	parent := make([]int32, g.N)
+	for i := range parent {
+		parent[i] = -1
+	}
+	parent[src] = int32(src)
+	frontier := []uint32{src}
+	for len(frontier) > 0 {
+		var next []uint32
+		for _, u := range frontier {
+			for _, v := range g.Adj(u) {
+				if parent[v] < 0 {
+					parent[v] = int32(u)
+					next = append(next, v)
+				}
+			}
+		}
+		frontier = next
+	}
+	return parent
+}
+
+// BFSDepths converts a parent array into hop distances (-1 unreached).
+func BFSDepths(g *Graph, src uint32, parent []int32) []int32 {
+	depth := make([]int32, len(parent))
+	for v := range depth {
+		depth[v] = -1
+	}
+	depth[src] = 0
+	// Vertices resolve in waves; parents always resolve before children,
+	// so a fixed-point loop terminates in diameter iterations.
+	changed := true
+	for changed {
+		changed = false
+		for v := range parent {
+			if depth[v] >= 0 || parent[v] < 0 {
+				continue
+			}
+			if d := depth[parent[v]]; d >= 0 {
+				depth[v] = d + 1
+				changed = true
+			}
+		}
+	}
+	return depth
+}
+
+// PageRankConfig parameterizes PageRank.
+type PageRankConfig struct {
+	// Damping is the damping factor (0.85 standard).
+	Damping float64
+	// Tolerance stops iteration when the L1 delta falls below it.
+	Tolerance float64
+	// MaxIters bounds the iteration count.
+	MaxIters int
+}
+
+// PageRank computes ranks by power iteration with the standard
+// dangling-mass redistribution; ranks sum to 1.
+func PageRank(g *Graph, cfg PageRankConfig) ([]float64, int) {
+	if cfg.Damping == 0 {
+		cfg.Damping = 0.85
+	}
+	if cfg.Tolerance == 0 {
+		cfg.Tolerance = 1e-7
+	}
+	if cfg.MaxIters == 0 {
+		cfg.MaxIters = 100
+	}
+	n := float64(g.N)
+	rank := make([]float64, g.N)
+	next := make([]float64, g.N)
+	for v := range rank {
+		rank[v] = 1 / n
+	}
+	iters := 0
+	for ; iters < cfg.MaxIters; iters++ {
+		base := (1 - cfg.Damping) / n
+		var dangling float64
+		for v := 0; v < g.N; v++ {
+			if g.Degree(uint32(v)) == 0 {
+				dangling += rank[v]
+			}
+			next[v] = base
+		}
+		share := cfg.Damping * dangling / n
+		for v := 0; v < g.N; v++ {
+			next[v] += share
+		}
+		for v := 0; v < g.N; v++ {
+			d := g.Degree(uint32(v))
+			if d == 0 {
+				continue
+			}
+			out := cfg.Damping * rank[v] / float64(d)
+			for _, u := range g.Adj(uint32(v)) {
+				next[u] += out
+			}
+		}
+		var delta float64
+		for v := range rank {
+			d := next[v] - rank[v]
+			if d < 0 {
+				d = -d
+			}
+			delta += d
+		}
+		rank, next = next, rank
+		if delta < cfg.Tolerance {
+			iters++
+			break
+		}
+	}
+	return rank, iters
+}
+
+// ConnectedComponents labels each vertex with its component id (the
+// smallest vertex id in the component), by label propagation.
+func ConnectedComponents(g *Graph) []uint32 {
+	label := make([]uint32, g.N)
+	for v := range label {
+		label[v] = uint32(v)
+	}
+	changed := true
+	for changed {
+		changed = false
+		for v := 0; v < g.N; v++ {
+			for _, u := range g.Adj(uint32(v)) {
+				if label[u] < label[v] {
+					label[v] = label[u]
+					changed = true
+				}
+			}
+		}
+	}
+	return label
+}
+
+// TriangleCount returns the number of distinct triangles. Duplicate edges
+// are deduplicated first (Kronecker multigraphs repeat edges).
+func TriangleCount(g *Graph) int64 {
+	// Build deduplicated sorted adjacency restricted to higher ids: each
+	// triangle (a<b<c) is counted exactly once at its lowest vertex.
+	adj := make([][]uint32, g.N)
+	for v := 0; v < g.N; v++ {
+		var list []uint32
+		var last uint32 = ^uint32(0)
+		for _, u := range sortedAdj(g, uint32(v)) {
+			if u == last || u <= uint32(v) {
+				last = u
+				continue
+			}
+			list = append(list, u)
+			last = u
+		}
+		adj[v] = list
+	}
+	var count int64
+	for a := 0; a < g.N; a++ {
+		for _, b := range adj[a] {
+			count += intersectCount(adj[a], adj[b])
+		}
+	}
+	return count
+}
+
+// sortedAdj returns v's neighbors in ascending order. Short lists (the
+// common case at average degree 16) use insertion sort; hub vertices fall
+// back to the library sort.
+func sortedAdj(g *Graph, v uint32) []uint32 {
+	out := append([]uint32(nil), g.Adj(v)...)
+	if len(out) > 64 {
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// intersectCount counts common elements of two ascending lists.
+func intersectCount(a, b []uint32) int64 {
+	var n int64
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// SampleSources returns k deterministic source vertices with non-zero
+// degree, the way GAP picks BFS/BC sources.
+func SampleSources(g *Graph, k int, seed uint64) []uint32 {
+	rng := sim.NewRand(seed ^ 0x57c)
+	out := make([]uint32, 0, k)
+	for len(out) < k {
+		v := uint32(rng.Intn(g.N))
+		if g.Degree(v) > 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,233 @@
+package gap
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func testGraph(scale int, seed uint64) *Graph {
+	edges := Kronecker(KroneckerConfig{Scale: scale, EdgeFactor: 6, Seed: seed})
+	return Build(1<<scale, edges)
+}
+
+// bfsOracle computes hop distances by textbook queue BFS.
+func bfsOracle(g *Graph, src uint32) []int32 {
+	d := make([]int32, g.N)
+	for i := range d {
+		d[i] = -1
+	}
+	d[src] = 0
+	q := []uint32{src}
+	for len(q) > 0 {
+		u := q[0]
+		q = q[1:]
+		for _, v := range g.Adj(u) {
+			if d[v] < 0 {
+				d[v] = d[u] + 1
+				q = append(q, v)
+			}
+		}
+	}
+	return d
+}
+
+func TestBFSParentTreeValid(t *testing.T) {
+	g := testGraph(8, 3)
+	src := SampleSources(g, 1, 1)[0]
+	parent := BFS(g, src)
+	want := bfsOracle(g, src)
+	depth := BFSDepths(g, src, parent)
+	for v := 0; v < g.N; v++ {
+		if (parent[v] < 0) != (want[v] < 0) {
+			t.Fatalf("vertex %d reachability mismatch", v)
+		}
+		if depth[v] != want[v] {
+			t.Fatalf("vertex %d depth %d, oracle %d", v, depth[v], want[v])
+		}
+		if parent[v] >= 0 && uint32(v) != src {
+			// Parent must be exactly one hop closer.
+			if want[parent[v]] != want[v]-1 {
+				t.Fatalf("vertex %d: parent %d not one hop closer", v, parent[v])
+			}
+			// And actually adjacent.
+			adjacent := false
+			for _, u := range g.Adj(uint32(v)) {
+				if int32(u) == parent[v] {
+					adjacent = true
+				}
+			}
+			if !adjacent {
+				t.Fatalf("vertex %d: parent %d not adjacent", v, parent[v])
+			}
+		}
+	}
+}
+
+func TestPageRankProperties(t *testing.T) {
+	g := testGraph(8, 5)
+	rank, iters := PageRank(g, PageRankConfig{})
+	if iters == 0 {
+		t.Fatal("no iterations ran")
+	}
+	var sum float64
+	for _, r := range rank {
+		if r < 0 {
+			t.Fatal("negative rank")
+		}
+		sum += r
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("ranks sum to %v, want 1", sum)
+	}
+	// The highest-degree vertex should outrank the median vertex.
+	var hub uint32
+	for v := 0; v < g.N; v++ {
+		if g.Degree(uint32(v)) > g.Degree(hub) {
+			hub = uint32(v)
+		}
+	}
+	above := 0
+	for _, r := range rank {
+		if rank[hub] >= r {
+			above++
+		}
+	}
+	if float64(above)/float64(g.N) < 0.99 {
+		t.Fatalf("hub vertex rank not near top (beats %d/%d)", above, g.N)
+	}
+}
+
+// PageRank on a 3-cycle: perfect symmetry means uniform ranks.
+func TestPageRankSymmetric(t *testing.T) {
+	g := Build(3, []Edge{{0, 1}, {1, 2}, {2, 0}})
+	rank, _ := PageRank(g, PageRankConfig{Tolerance: 1e-12})
+	for _, r := range rank {
+		if math.Abs(r-1.0/3) > 1e-9 {
+			t.Fatalf("asymmetric ranks on a cycle: %v", rank)
+		}
+	}
+}
+
+// ccOracle labels components by union-find.
+func ccOracle(g *Graph) []uint32 {
+	parent := make([]uint32, g.N)
+	for i := range parent {
+		parent[i] = uint32(i)
+	}
+	var find func(uint32) uint32
+	find = func(x uint32) uint32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for v := 0; v < g.N; v++ {
+		for _, u := range g.Adj(uint32(v)) {
+			a, b := find(uint32(v)), find(u)
+			if a != b {
+				if a < b {
+					parent[b] = a
+				} else {
+					parent[a] = b
+				}
+			}
+		}
+	}
+	out := make([]uint32, g.N)
+	for v := range out {
+		out[v] = find(uint32(v))
+	}
+	return out
+}
+
+func TestConnectedComponentsMatchUnionFind(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := testGraph(6, seed)
+		got := ConnectedComponents(g)
+		want := ccOracle(g)
+		// Labels must induce the same partition; both use min-id
+		// representatives so they match exactly.
+		for v := range got {
+			if got[v] != want[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// tcOracle counts triangles by brute force over vertex triples.
+func tcOracle(g *Graph) int64 {
+	has := make(map[uint64]bool)
+	for v := 0; v < g.N; v++ {
+		for _, u := range g.Adj(uint32(v)) {
+			if u != uint32(v) {
+				has[uint64(v)<<32|uint64(u)] = true
+			}
+		}
+	}
+	edge := func(a, b int) bool { return has[uint64(a)<<32|uint64(b)] }
+	var n int64
+	for a := 0; a < g.N; a++ {
+		for b := a + 1; b < g.N; b++ {
+			if !edge(a, b) {
+				continue
+			}
+			for c := b + 1; c < g.N; c++ {
+				if edge(a, c) && edge(b, c) {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+func TestTriangleCountMatchesBruteForce(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		g := testGraph(5, seed)
+		got := TriangleCount(g)
+		want := tcOracle(g)
+		if got != want {
+			t.Fatalf("seed %d: TriangleCount = %d, brute force %d", seed, got, want)
+		}
+	}
+}
+
+func TestTriangleCountKnown(t *testing.T) {
+	// K4 has 4 triangles.
+	g := Build(4, []Edge{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}})
+	if got := TriangleCount(g); got != 4 {
+		t.Fatalf("K4 triangles = %d, want 4", got)
+	}
+	// A path has none.
+	p := Build(4, []Edge{{0, 1}, {1, 2}, {2, 3}})
+	if got := TriangleCount(p); got != 0 {
+		t.Fatalf("path triangles = %d, want 0", got)
+	}
+}
+
+func TestSampleSourcesValid(t *testing.T) {
+	g := testGraph(8, 9)
+	srcs := SampleSources(g, 10, 3)
+	if len(srcs) != 10 {
+		t.Fatalf("sources = %d", len(srcs))
+	}
+	for _, s := range srcs {
+		if g.Degree(s) == 0 {
+			t.Fatal("sampled isolated vertex")
+		}
+	}
+	// Deterministic.
+	again := SampleSources(g, 10, 3)
+	for i := range srcs {
+		if srcs[i] != again[i] {
+			t.Fatal("sources not deterministic")
+		}
+	}
+}

@@ -1,0 +1,227 @@
+// Package gups implements the GUPS (giga-updates-per-second)
+// microbenchmark the paper uses throughout §5.1: parallel read-modify-write
+// operations on fixed-size objects over a configurable working set, with an
+// optional skewed hot set, an optional write-only partition (the asymmetric
+// experiment of Table 2), and support for shifting the hot set mid-run
+// (the dynamic experiment of Figure 9).
+package gups
+
+import (
+	"fmt"
+
+	"github.com/tieredmem/hemem/internal/machine"
+	"github.com/tieredmem/hemem/internal/mem"
+	"github.com/tieredmem/hemem/internal/sim"
+	"github.com/tieredmem/hemem/internal/vm"
+)
+
+// Config parameterizes a GUPS run.
+type Config struct {
+	// Threads is the number of update threads (paper default: 16).
+	Threads int
+	// WorkingSet is the aggregate working set in bytes.
+	WorkingSet int64
+	// HotSet is the aggregate hot set in bytes; 0 means uniform access.
+	HotSet int64
+	// HotFrac is the fraction of operations that touch the hot set
+	// (paper: 0.9).
+	HotFrac float64
+	// ObjectSize is bytes per update (paper: 8).
+	ObjectSize int64
+	// TotalUpdates ends the run after this many updates; 0 = unbounded.
+	TotalUpdates float64
+	// WriteOnlyHot makes this many bytes of the hot set write-only while
+	// the rest of all memory is read-only (Table 2's skewed R/W
+	// pattern). 0 disables.
+	WriteOnlyHot int64
+	// Seed scatters the hot set pages through the working set.
+	Seed uint64
+}
+
+// GUPS is the workload instance.
+type GUPS struct {
+	cfg    Config
+	region *vm.Region
+
+	hot      *vm.PageSet // nil when uniform
+	hotWr    *vm.PageSet // write-only partition of hot (Table 2)
+	cold     *vm.PageSet
+	comps    []machine.Component
+	updates  float64
+	started  int64
+	lastNow  int64
+	obsStart float64 // updates at last Reset, for interval scoring
+	obsTime  int64
+}
+
+// New maps the working set on m and builds the access components. The hot
+// set is a random, non-contiguous subset of pages ("a random set of each
+// thread's objects", §5.1) so migration cannot exploit contiguity.
+func New(m *machine.Machine, cfg Config) *GUPS {
+	if cfg.Threads <= 0 {
+		cfg.Threads = 16
+	}
+	if cfg.ObjectSize <= 0 {
+		cfg.ObjectSize = 8
+	}
+	if cfg.HotFrac == 0 {
+		cfg.HotFrac = 0.9
+	}
+	g := &GUPS{cfg: cfg}
+	g.region = m.AS.Map("gups", cfg.WorkingSet)
+	pages := g.region.Pages
+
+	if cfg.HotSet > 0 && cfg.HotSet < cfg.WorkingSet {
+		rng := sim.NewRand(cfg.Seed + 0x9d5)
+		perm := rng.Perm(len(pages))
+		nHot := int(cfg.HotSet / m.Cfg.PageSize)
+		hotPages := make([]*vm.Page, 0, nHot)
+		coldPages := make([]*vm.Page, 0, len(pages)-nHot)
+		for i, idx := range perm {
+			if i < nHot {
+				hotPages = append(hotPages, pages[idx])
+			} else {
+				coldPages = append(coldPages, pages[idx])
+			}
+		}
+		if cfg.WriteOnlyHot > 0 {
+			nWr := int(cfg.WriteOnlyHot / m.Cfg.PageSize)
+			if nWr > len(hotPages) {
+				nWr = len(hotPages)
+			}
+			g.hotWr = vm.NewPageSet("gups-hot-wr", hotPages[:nWr])
+			g.hot = vm.NewPageSet("gups-hot-rd", hotPages[nWr:])
+		} else {
+			g.hot = vm.NewPageSet("gups-hot", hotPages)
+		}
+		g.cold = vm.NewPageSet("gups-cold", coldPages)
+	} else {
+		g.cold = vm.NewPageSet("gups-all", pages)
+	}
+	g.rebuild()
+	m.AddWorkload(g)
+	g.started = m.Clock.Now()
+	return g
+}
+
+// rebuild recomputes the component list from current set sizes.
+func (g *GUPS) rebuild() {
+	c := g.cfg
+	rw := func(set *vm.PageSet, share float64) machine.Component {
+		return machine.Component{
+			Set: set, Share: share,
+			ReadBytes: c.ObjectSize, WriteBytes: c.ObjectSize,
+			Pattern: mem.Random,
+		}
+	}
+	switch {
+	case g.hot == nil && g.hotWr == nil:
+		// Uniform random over the whole working set.
+		g.comps = []machine.Component{rw(g.cold, 1)}
+	case g.hotWr != nil:
+		// Table 2: hot split into write-only and read-only halves;
+		// the cold remainder is read-only.
+		hotBytes := float64(g.hot.Len() + g.hotWr.Len())
+		wrShare := c.HotFrac * float64(g.hotWr.Len()) / hotBytes
+		rdShare := c.HotFrac * float64(g.hot.Len()) / hotBytes
+		g.comps = []machine.Component{
+			{Set: g.hotWr, Share: wrShare, WriteBytes: c.ObjectSize, Pattern: mem.Random},
+			{Set: g.hot, Share: rdShare, ReadBytes: c.ObjectSize, Pattern: mem.Random},
+			{Set: g.cold, Share: 1 - c.HotFrac, ReadBytes: c.ObjectSize, Pattern: mem.Random},
+		}
+	default:
+		// HotFrac of ops hit the hot set; the rest are uniform over
+		// the whole working set, which decomposes into disjoint
+		// hot/cold components by size.
+		total := float64(g.hot.Len() + g.cold.Len())
+		uniformHot := (1 - c.HotFrac) * float64(g.hot.Len()) / total
+		uniformCold := (1 - c.HotFrac) * float64(g.cold.Len()) / total
+		g.comps = []machine.Component{
+			rw(g.hot, c.HotFrac+uniformHot),
+			rw(g.cold, uniformCold),
+		}
+	}
+}
+
+// ShiftHotSet makes bytes of the hot set cold and an equal amount of the
+// cold set hot (Figure 9's dynamic hot set), preserving set sizes.
+func (g *GUPS) ShiftHotSet(bytes int64, seed uint64) {
+	if g.hot == nil || g.cold == nil {
+		return
+	}
+	n := int(bytes / g.region.PageSize)
+	if n > g.hot.Len() {
+		n = g.hot.Len()
+	}
+	if n > g.cold.Len() {
+		n = g.cold.Len()
+	}
+	rng := sim.NewRand(seed + 0x51f7)
+	// Remove all swapped pages first so a freshly added page can never be
+	// picked again within the same shift.
+	fromHot := make([]*vm.Page, n)
+	fromCold := make([]*vm.Page, n)
+	for i := 0; i < n; i++ {
+		fromHot[i] = g.hot.Remove(rng.Intn(g.hot.Len()))
+		fromCold[i] = g.cold.Remove(rng.Intn(g.cold.Len()))
+	}
+	for i := 0; i < n; i++ {
+		g.hot.Add(fromCold[i])
+		g.cold.Add(fromHot[i])
+	}
+	g.rebuild()
+}
+
+// Name implements machine.Workload.
+func (g *GUPS) Name() string { return "gups" }
+
+// Threads implements machine.Workload.
+func (g *GUPS) Threads() int { return g.cfg.Threads }
+
+// Components implements machine.Workload.
+func (g *GUPS) Components() []machine.Component { return g.comps }
+
+// OnOps implements machine.Workload.
+func (g *GUPS) OnOps(now int64, ops float64, opTime float64) {
+	g.updates += ops
+	g.lastNow = now
+}
+
+// Done implements machine.Workload.
+func (g *GUPS) Done() bool {
+	return g.cfg.TotalUpdates > 0 && g.updates >= g.cfg.TotalUpdates
+}
+
+// Updates returns completed update operations.
+func (g *GUPS) Updates() float64 { return g.updates }
+
+// Score returns giga-updates-per-second since the workload started (or
+// since the last ResetScore).
+func (g *GUPS) Score() float64 {
+	elapsed := float64(g.lastNow - g.obsTime)
+	if elapsed <= 0 {
+		return 0
+	}
+	return (g.updates - g.obsStart) / elapsed
+}
+
+// ResetScore restarts the scoring window (after a warm-up phase).
+func (g *GUPS) ResetScore() {
+	g.obsStart = g.updates
+	g.obsTime = g.lastNow
+}
+
+// Region returns the mapped working-set region.
+func (g *GUPS) Region() *vm.Region { return g.region }
+
+// HotPages returns the current hot page set (including the write-only
+// partition if configured), or nil for uniform runs.
+func (g *GUPS) HotPages() *vm.PageSet { return g.hot }
+
+// WriteOnlyPages returns the write-only hot partition, or nil.
+func (g *GUPS) WriteOnlyPages() *vm.PageSet { return g.hotWr }
+
+func (g *GUPS) String() string {
+	return fmt.Sprintf("gups{%d thr, ws=%dGB hot=%dGB}", g.cfg.Threads,
+		g.cfg.WorkingSet/sim.GB, g.cfg.HotSet/sim.GB)
+}

@@ -1,0 +1,100 @@
+package gups_test
+
+import (
+	"testing"
+
+	"github.com/tieredmem/hemem/internal/gups"
+	"github.com/tieredmem/hemem/internal/machine"
+	"github.com/tieredmem/hemem/internal/sim"
+	"github.com/tieredmem/hemem/internal/xmem"
+)
+
+func newGUPS(cfg gups.Config) (*machine.Machine, *gups.GUPS) {
+	m := machine.New(machine.DefaultConfig(), xmem.DRAMFirst())
+	g := gups.New(m, cfg)
+	return m, g
+}
+
+func TestDefaults(t *testing.T) {
+	_, g := newGUPS(gups.Config{WorkingSet: 8 * sim.GB})
+	if g.Threads() != 16 {
+		t.Fatalf("default threads = %d, want 16", g.Threads())
+	}
+	comps := g.Components()
+	if len(comps) != 1 {
+		t.Fatalf("uniform GUPS should have 1 component, got %d", len(comps))
+	}
+	if comps[0].Share != 1 || comps[0].ReadBytes != 8 || comps[0].WriteBytes != 8 {
+		t.Fatalf("uniform component wrong: %+v", comps[0])
+	}
+}
+
+func TestHotColdDecomposition(t *testing.T) {
+	m, g := newGUPS(gups.Config{WorkingSet: 64 * sim.GB, HotSet: 16 * sim.GB, Seed: 1})
+	comps := g.Components()
+	if len(comps) != 2 {
+		t.Fatalf("components = %d, want 2", len(comps))
+	}
+	// Shares sum to 1 and are disjoint-set weighted: hot gets 0.9 plus
+	// its share of the uniform 10%.
+	total := comps[0].Share + comps[1].Share
+	if total < 0.999 || total > 1.001 {
+		t.Fatalf("shares sum to %v", total)
+	}
+	wantHot := 0.9 + 0.1*16.0/64.0
+	if comps[0].Share < wantHot-0.001 || comps[0].Share > wantHot+0.001 {
+		t.Fatalf("hot share = %v, want %v", comps[0].Share, wantHot)
+	}
+	// Page sets are disjoint and cover the region.
+	if g.HotPages().Len()+comps[1].Set.Len() != len(g.Region().Pages) {
+		t.Fatal("hot+cold do not partition the region")
+	}
+	_ = m
+}
+
+func TestDoneAfterTotalUpdates(t *testing.T) {
+	m, g := newGUPS(gups.Config{WorkingSet: 8 * sim.GB, TotalUpdates: 1e6})
+	m.Warm()
+	m.RunUntilDone(60 * sim.Second)
+	if !g.Done() {
+		t.Fatal("workload never finished")
+	}
+	if g.Updates() < 1e6 {
+		t.Fatalf("updates = %v, want >= 1e6", g.Updates())
+	}
+}
+
+func TestScoreWindow(t *testing.T) {
+	m, g := newGUPS(gups.Config{WorkingSet: 8 * sim.GB})
+	m.Warm()
+	m.Run(sim.Second)
+	first := g.Score()
+	if first <= 0 {
+		t.Fatal("score not positive")
+	}
+	g.ResetScore()
+	m.Run(sim.Second)
+	second := g.Score()
+	// Steady workload: windows should agree closely.
+	if second < first*0.9 || second > first*1.1 {
+		t.Fatalf("windows disagree: %v vs %v", first, second)
+	}
+}
+
+func TestHotSetSeedsDiffer(t *testing.T) {
+	_, a := newGUPS(gups.Config{WorkingSet: 16 * sim.GB, HotSet: 4 * sim.GB, Seed: 1})
+	_, b := newGUPS(gups.Config{WorkingSet: 16 * sim.GB, HotSet: 4 * sim.GB, Seed: 2})
+	same := 0
+	inB := map[int]bool{}
+	for _, p := range b.HotPages().Pages() {
+		inB[p.Index] = true
+	}
+	for _, p := range a.HotPages().Pages() {
+		if inB[p.Index] {
+			same++
+		}
+	}
+	if same == a.HotPages().Len() {
+		t.Fatal("different seeds produced identical hot sets")
+	}
+}

@@ -1,0 +1,360 @@
+package kvs
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Server exposes a Store over the memcached text protocol (FlexKVS is
+// "Memcached compatible", §5.2.2). The subset implemented covers the
+// commands the paper's workloads use: get, set, delete, plus stats and
+// quit. Each connection is served by its own goroutine, as FlexKVS serves
+// each with its own thread.
+type Server struct {
+	store *Store
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	gets   atomic.Int64
+	sets   atomic.Int64
+	misses atomic.Int64
+	wg     sync.WaitGroup
+}
+
+// NewServer wraps store.
+func NewServer(store *Store) *Server {
+	return &Server{store: store, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts connections on ln until Close is called.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("kvs: server closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// ListenAndServe listens on addr (e.g. "127.0.0.1:0") and serves.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Addr returns the listening address, or nil before Serve.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close stops accepting, closes every connection, and waits for handlers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+// serveConn runs the text protocol on one connection.
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		line, err := readLine(r)
+		if err != nil {
+			return
+		}
+		fields := bytes.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch string(fields[0]) {
+		case "get", "gets":
+			s.handleGet(w, fields[1:])
+		case "set":
+			if err := s.handleSet(r, w, fields[1:]); err != nil {
+				return
+			}
+		case "delete":
+			s.handleDelete(w, fields[1:])
+		case "stats":
+			s.handleStats(w)
+		case "quit":
+			w.Flush()
+			return
+		default:
+			fmt.Fprintf(w, "ERROR\r\n")
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// readLine reads a \r\n-terminated protocol line.
+func readLine(r *bufio.Reader) ([]byte, error) {
+	line, err := r.ReadBytes('\n')
+	if err != nil {
+		return nil, err
+	}
+	return bytes.TrimRight(line, "\r\n"), nil
+}
+
+// Stored value layout: the 32-bit client flags are kept as a 4-byte
+// little-endian prefix so gets can echo them back.
+func encodeFlags(flags uint32, value []byte) []byte {
+	out := make([]byte, 4+len(value))
+	out[0] = byte(flags)
+	out[1] = byte(flags >> 8)
+	out[2] = byte(flags >> 16)
+	out[3] = byte(flags >> 24)
+	copy(out[4:], value)
+	return out
+}
+
+func decodeFlags(stored []byte) (uint32, []byte) {
+	if len(stored) < 4 {
+		return 0, stored
+	}
+	f := uint32(stored[0]) | uint32(stored[1])<<8 | uint32(stored[2])<<16 | uint32(stored[3])<<24
+	return f, stored[4:]
+}
+
+func (s *Server) handleGet(w *bufio.Writer, keys [][]byte) {
+	for _, key := range keys {
+		s.gets.Add(1)
+		stored, ok := s.store.Get(key)
+		if !ok {
+			s.misses.Add(1)
+			continue
+		}
+		flags, value := decodeFlags(stored)
+		fmt.Fprintf(w, "VALUE %s %d %d\r\n", key, flags, len(value))
+		w.Write(value)
+		w.WriteString("\r\n")
+	}
+	w.WriteString("END\r\n")
+}
+
+func (s *Server) handleSet(r *bufio.Reader, w *bufio.Writer, args [][]byte) error {
+	// set <key> <flags> <exptime> <bytes> [noreply]
+	if len(args) < 4 {
+		w.WriteString("CLIENT_ERROR bad command line format\r\n")
+		return nil
+	}
+	key := args[0]
+	flags, err1 := strconv.ParseUint(string(args[1]), 10, 32)
+	size, err2 := strconv.Atoi(string(args[3]))
+	if err1 != nil || err2 != nil || size < 0 {
+		w.WriteString("CLIENT_ERROR bad command line format\r\n")
+		return nil
+	}
+	noreply := len(args) >= 5 && string(args[4]) == "noreply"
+	data := make([]byte, size+2)
+	if _, err := io.ReadFull(r, data); err != nil {
+		return err
+	}
+	if !bytes.HasSuffix(data, []byte("\r\n")) {
+		if !noreply {
+			w.WriteString("CLIENT_ERROR bad data chunk\r\n")
+		}
+		return nil
+	}
+	s.sets.Add(1)
+	if err := s.store.Set(key, encodeFlags(uint32(flags), data[:size])); err != nil {
+		if !noreply {
+			w.WriteString("SERVER_ERROR object too large for cache\r\n")
+		}
+		return nil
+	}
+	if !noreply {
+		w.WriteString("STORED\r\n")
+	}
+	return nil
+}
+
+func (s *Server) handleDelete(w *bufio.Writer, args [][]byte) {
+	if len(args) < 1 {
+		w.WriteString("CLIENT_ERROR bad command line format\r\n")
+		return
+	}
+	if s.store.Delete(args[0]) {
+		w.WriteString("DELETED\r\n")
+	} else {
+		w.WriteString("NOT_FOUND\r\n")
+	}
+}
+
+func (s *Server) handleStats(w *bufio.Writer) {
+	fmt.Fprintf(w, "STAT cmd_get %d\r\n", s.gets.Load())
+	fmt.Fprintf(w, "STAT cmd_set %d\r\n", s.sets.Load())
+	fmt.Fprintf(w, "STAT get_misses %d\r\n", s.misses.Load())
+	fmt.Fprintf(w, "STAT curr_items %d\r\n", s.store.Len())
+	fmt.Fprintf(w, "STAT bytes %d\r\n", s.store.LiveBytes())
+	w.WriteString("END\r\n")
+}
+
+// Client is a minimal memcached text-protocol client for tests, examples
+// and load generators.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// Dial connects to a memcached-compatible server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an existing connection (e.g. one side of net.Pipe).
+func NewClient(conn net.Conn) *Client {
+	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Set stores value under key with flags.
+func (c *Client) Set(key string, flags uint32, value []byte) error {
+	fmt.Fprintf(c.w, "set %s %d 0 %d\r\n", key, flags, len(value))
+	c.w.Write(value)
+	c.w.WriteString("\r\n")
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	line, err := readLine(c.r)
+	if err != nil {
+		return err
+	}
+	if string(line) != "STORED" {
+		return fmt.Errorf("kvs: set: %s", line)
+	}
+	return nil
+}
+
+// Get fetches key; ok is false on a miss.
+func (c *Client) Get(key string) (value []byte, flags uint32, ok bool, err error) {
+	fmt.Fprintf(c.w, "get %s\r\n", key)
+	if err = c.w.Flush(); err != nil {
+		return nil, 0, false, err
+	}
+	for {
+		line, err := readLine(c.r)
+		if err != nil {
+			return nil, 0, false, err
+		}
+		if string(line) == "END" {
+			return value, flags, ok, nil
+		}
+		var k string
+		var f uint32
+		var n int
+		if _, err := fmt.Sscanf(string(line), "VALUE %s %d %d", &k, &f, &n); err != nil {
+			return nil, 0, false, fmt.Errorf("kvs: get: %s", line)
+		}
+		buf := make([]byte, n+2)
+		if _, err := io.ReadFull(c.r, buf); err != nil {
+			return nil, 0, false, err
+		}
+		value, flags, ok = buf[:n], f, true
+	}
+}
+
+// Delete removes key; found is false if it was absent.
+func (c *Client) Delete(key string) (found bool, err error) {
+	fmt.Fprintf(c.w, "delete %s\r\n", key)
+	if err := c.w.Flush(); err != nil {
+		return false, err
+	}
+	line, err := readLine(c.r)
+	if err != nil {
+		return false, err
+	}
+	switch string(line) {
+	case "DELETED":
+		return true, nil
+	case "NOT_FOUND":
+		return false, nil
+	default:
+		return false, fmt.Errorf("kvs: delete: %s", line)
+	}
+}
+
+// Stats fetches the server's counters.
+func (c *Client) Stats() (map[string]int64, error) {
+	fmt.Fprintf(c.w, "stats\r\n")
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	out := map[string]int64{}
+	for {
+		line, err := readLine(c.r)
+		if err != nil {
+			return nil, err
+		}
+		if string(line) == "END" {
+			return out, nil
+		}
+		var name string
+		var v int64
+		if _, err := fmt.Sscanf(string(line), "STAT %s %d", &name, &v); err == nil {
+			out[name] = v
+		}
+	}
+}

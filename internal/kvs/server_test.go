@@ -1,0 +1,133 @@
+package kvs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// startServer runs a server on a loopback listener and returns a connected
+// client plus a cleanup func.
+func startServer(t *testing.T) (*Client, *Server) {
+	t.Helper()
+	s := NewServer(NewStore(Config{}))
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := s.ListenAndServe("127.0.0.1:0"); err != nil {
+			t.Error(err)
+		}
+	}()
+	// Wait until the listener is up.
+	for s.Addr() == nil {
+	}
+	c, err := Dial(s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		c.Close()
+		s.Close()
+		<-done
+	})
+	return c, s
+}
+
+func TestProtocolSetGetDelete(t *testing.T) {
+	c, _ := startServer(t)
+	if err := c.Set("hello", 42, []byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	v, flags, ok, err := c.Get("hello")
+	if err != nil || !ok || string(v) != "world" || flags != 42 {
+		t.Fatalf("get = %q flags=%d ok=%v err=%v", v, flags, ok, err)
+	}
+	// Miss.
+	if _, _, ok, err := c.Get("missing"); err != nil || ok {
+		t.Fatalf("miss returned ok=%v err=%v", ok, err)
+	}
+	// Delete.
+	found, err := c.Delete("hello")
+	if err != nil || !found {
+		t.Fatalf("delete = %v, %v", found, err)
+	}
+	if found, _ := c.Delete("hello"); found {
+		t.Fatal("double delete found the key")
+	}
+}
+
+func TestProtocolBinaryValues(t *testing.T) {
+	c, _ := startServer(t)
+	// Values containing \r\n and NULs round-trip (length-prefixed data).
+	val := []byte("a\r\nb\x00c\r\n\r\nend")
+	if err := c.Set("bin", 0, val); err != nil {
+		t.Fatal(err)
+	}
+	v, _, ok, _ := c.Get("bin")
+	if !ok || string(v) != string(val) {
+		t.Fatalf("binary roundtrip = %q", v)
+	}
+}
+
+func TestProtocolOverwrite(t *testing.T) {
+	c, _ := startServer(t)
+	c.Set("k", 1, []byte("v1"))
+	c.Set("k", 2, []byte("v2-longer"))
+	v, flags, ok, _ := c.Get("k")
+	if !ok || string(v) != "v2-longer" || flags != 2 {
+		t.Fatalf("overwrite = %q flags=%d", v, flags)
+	}
+}
+
+func TestProtocolStats(t *testing.T) {
+	c, _ := startServer(t)
+	c.Set("a", 0, []byte("1"))
+	c.Get("a")
+	c.Get("nope")
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st["cmd_set"] != 1 || st["cmd_get"] != 2 || st["get_misses"] != 1 || st["curr_items"] != 1 {
+		t.Fatalf("stats = %v", st)
+	}
+}
+
+func TestProtocolConcurrentClients(t *testing.T) {
+	_, s := startServer(t)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c, err := Dial(s.Addr().String())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			for i := 0; i < 100; i++ {
+				key := fmt.Sprintf("key-%d-%d", id, i%10)
+				if err := c.Set(key, 0, []byte(fmt.Sprintf("v%d", i))); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, _, ok, err := c.Get(key); err != nil || !ok {
+					t.Errorf("get after set failed: %v %v", ok, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestServerCloseUnblocksClients(t *testing.T) {
+	c, s := startServer(t)
+	c.Set("k", 0, []byte("v"))
+	s.Close()
+	// Further requests fail rather than hang.
+	if err := c.Set("k2", 0, []byte("v")); err == nil {
+		t.Fatal("set after close succeeded")
+	}
+}

@@ -1,0 +1,418 @@
+// Package kvs implements FlexKVS, the Memcached-compatible key-value store
+// of the paper's §5.2.2: a segmented log for item storage (reducing
+// synchronization on allocation, after log-structured memory) and a
+// block-chain hash table (entry blocks sized to cache lines to minimize
+// coherence traffic on lookups, after MICA).
+//
+// The store is a real, concurrency-safe in-memory KVS used directly by the
+// examples and tests; Driver (driver.go) additionally describes its memory
+// traffic to the simulated machine for the tiering experiments (Tables 3
+// and 4).
+package kvs
+
+import (
+	"encoding/binary"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrTooLarge is returned when an item exceeds the segment size.
+var ErrTooLarge = errors.New("kvs: item larger than segment")
+
+// itemRef locates an item in the log.
+type itemRef struct {
+	seg int32
+	off int32
+}
+
+const (
+	itemHeader = 6 // keyLen uint16 + valLen uint32
+	// entriesPerBlock sizes a hash block at 7 entries + next pointer ≈
+	// two cache lines, the block-chain layout that keeps most lookups to
+	// a single chained block.
+	entriesPerBlock = 7
+)
+
+// entry is one hash-table slot.
+type entry struct {
+	hash uint64
+	ref  itemRef
+	used bool
+}
+
+// block is a chained group of entries.
+type block struct {
+	entries [entriesPerBlock]entry
+	next    *block
+}
+
+// segment is one log segment.
+type segment struct {
+	buf  []byte
+	used int32
+	live int32 // live bytes (for cleaning)
+}
+
+// Config parameterizes a Store.
+type Config struct {
+	// SegmentSize is the log segment size (default 2 MB, matching the
+	// huge pages the tiering layer manages).
+	SegmentSize int
+	// Buckets is the number of hash chains (default 1<<16).
+	Buckets int
+	// CleanThreshold triggers segment cleaning when a sealed segment's
+	// live fraction drops below it (default 0.25).
+	CleanThreshold float64
+	// Stripes is the lock striping factor (default 64).
+	Stripes int
+}
+
+func (c Config) withDefaults() Config {
+	if c.SegmentSize == 0 {
+		c.SegmentSize = 2 << 20
+	}
+	if c.Buckets == 0 {
+		c.Buckets = 1 << 16
+	}
+	if c.CleanThreshold == 0 {
+		c.CleanThreshold = 0.25
+	}
+	if c.Stripes == 0 {
+		c.Stripes = 64
+	}
+	return c
+}
+
+// Store is the key-value store.
+type Store struct {
+	cfg Config
+
+	locks []sync.RWMutex // striped over buckets
+
+	buckets []block
+
+	mu       sync.Mutex // guards the log structure
+	segs     []*segment
+	segsPub  atomic.Pointer[[]*segment] // lock-free view for readers
+	active   int32
+	freeSegs []int32
+	cleaning atomic.Bool
+
+	liveItems  int64
+	liveBytes  int64
+	deadBytes  int64
+	cleanRuns  int64
+	cleanMoved int64
+}
+
+// NewStore creates an empty store.
+func NewStore(cfg Config) *Store {
+	cfg = cfg.withDefaults()
+	s := &Store{
+		cfg:     cfg,
+		buckets: make([]block, cfg.Buckets),
+		locks:   make([]sync.RWMutex, cfg.Stripes),
+	}
+	s.segs = append(s.segs, &segment{buf: make([]byte, cfg.SegmentSize)})
+	s.publishSegs()
+	return s
+}
+
+// publishSegs republishes the segment slice for lock-free readers. Caller
+// holds s.mu (or is the constructor). Segment pointers are immutable once
+// created, so readers only need a consistent slice header.
+func (s *Store) publishSegs() {
+	v := s.segs
+	s.segsPub.Store(&v)
+}
+
+// fnv1a hashes a key.
+func fnv1a(key []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}
+
+func (s *Store) stripe(h uint64) *sync.RWMutex {
+	return &s.locks[h%uint64(len(s.locks))]
+}
+
+func (s *Store) bucket(h uint64) *block {
+	return &s.buckets[h%uint64(len(s.buckets))]
+}
+
+// appendItem writes the item into the log and returns its ref. Caller
+// holds s.mu.
+func (s *Store) appendItem(key, value []byte) (itemRef, error) {
+	need := itemHeader + len(key) + len(value)
+	if need > s.cfg.SegmentSize {
+		return itemRef{}, ErrTooLarge
+	}
+	seg := s.segs[s.active]
+	if int(seg.used)+need > s.cfg.SegmentSize {
+		// Seal and move to a fresh segment.
+		if n := len(s.freeSegs); n > 0 {
+			s.active = s.freeSegs[n-1]
+			s.freeSegs = s.freeSegs[:n-1]
+			seg = s.segs[s.active]
+			seg.used, seg.live = 0, 0
+		} else {
+			s.segs = append(s.segs, &segment{buf: make([]byte, s.cfg.SegmentSize)})
+			s.publishSegs()
+			s.active = int32(len(s.segs) - 1)
+			seg = s.segs[s.active]
+		}
+	}
+	off := seg.used
+	buf := seg.buf[off:]
+	binary.LittleEndian.PutUint16(buf[0:2], uint16(len(key)))
+	binary.LittleEndian.PutUint32(buf[2:6], uint32(len(value)))
+	copy(buf[itemHeader:], key)
+	copy(buf[itemHeader+len(key):], value)
+	seg.used += int32(need)
+	seg.live += int32(need)
+	return itemRef{seg: s.active, off: off}, nil
+}
+
+// readItem decodes the item at ref. It is safe without locks: the segment
+// slice is published atomically and item bytes are written before the
+// entry referencing them is published under the stripe lock.
+func (s *Store) readItem(ref itemRef) (key, value []byte) {
+	seg := (*s.segsPub.Load())[ref.seg]
+	buf := seg.buf[ref.off:]
+	kl := int(binary.LittleEndian.Uint16(buf[0:2]))
+	vl := int(binary.LittleEndian.Uint32(buf[2:6]))
+	key = buf[itemHeader : itemHeader+kl]
+	value = buf[itemHeader+kl : itemHeader+kl+vl]
+	return key, value
+}
+
+// itemSize returns the log footprint of the item at ref.
+func (s *Store) itemSize(ref itemRef) int32 {
+	seg := (*s.segsPub.Load())[ref.seg]
+	buf := seg.buf[ref.off:]
+	kl := int32(binary.LittleEndian.Uint16(buf[0:2]))
+	vl := int32(binary.LittleEndian.Uint32(buf[2:6]))
+	return itemHeader + kl + vl
+}
+
+// findEntry walks the block chain for key; returns the entry or nil.
+func (s *Store) findEntry(h uint64, key []byte) *entry {
+	for b := s.bucket(h); b != nil; b = b.next {
+		for i := range b.entries {
+			e := &b.entries[i]
+			if e.used && e.hash == h {
+				k, _ := s.readItem(e.ref)
+				if string(k) == string(key) {
+					return e
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Get returns a copy of the value stored under key.
+func (s *Store) Get(key []byte) ([]byte, bool) {
+	h := fnv1a(key)
+	l := s.stripe(h)
+	l.RLock()
+	defer l.RUnlock()
+	e := s.findEntry(h, key)
+	if e == nil {
+		return nil, false
+	}
+	_, v := s.readItem(e.ref)
+	out := make([]byte, len(v))
+	copy(out, v)
+	return out, true
+}
+
+// Set stores value under key, replacing any previous value.
+func (s *Store) Set(key, value []byte) error {
+	if err := s.set(key, value); err != nil {
+		return err
+	}
+	// Clean outside the stripe lock: the cleaner takes other stripes'
+	// locks (and possibly this one again) while repointing entries.
+	s.maybeClean()
+	return nil
+}
+
+func (s *Store) set(key, value []byte) error {
+	h := fnv1a(key)
+	l := s.stripe(h)
+	l.Lock()
+	defer l.Unlock()
+
+	s.mu.Lock()
+	ref, err := s.appendItem(key, value)
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+
+	if e := s.findEntry(h, key); e != nil {
+		s.retire(e.ref)
+		e.ref = ref
+		s.mu.Lock()
+		s.liveBytes += int64(itemHeader + len(key) + len(value))
+		s.mu.Unlock()
+		return nil
+	}
+	// Insert into the first free slot, extending the chain if needed.
+	b := s.bucket(h)
+	for {
+		for i := range b.entries {
+			e := &b.entries[i]
+			if !e.used {
+				*e = entry{hash: h, ref: ref, used: true}
+				s.mu.Lock()
+				s.liveItems++
+				s.liveBytes += int64(itemHeader + len(key) + len(value))
+				s.mu.Unlock()
+				return nil
+			}
+		}
+		if b.next == nil {
+			b.next = &block{}
+		}
+		b = b.next
+	}
+}
+
+// Delete removes key; it reports whether the key was present.
+func (s *Store) Delete(key []byte) bool {
+	ok := s.del(key)
+	if ok {
+		s.maybeClean()
+	}
+	return ok
+}
+
+func (s *Store) del(key []byte) bool {
+	h := fnv1a(key)
+	l := s.stripe(h)
+	l.Lock()
+	defer l.Unlock()
+	e := s.findEntry(h, key)
+	if e == nil {
+		return false
+	}
+	s.retire(e.ref)
+	e.used = false
+	s.mu.Lock()
+	s.liveItems--
+	s.mu.Unlock()
+	return true
+}
+
+// retire marks the bytes behind ref dead.
+func (s *Store) retire(ref itemRef) {
+	size := s.itemSize(ref)
+	s.mu.Lock()
+	s.segs[ref.seg].live -= size
+	s.liveBytes -= int64(size)
+	s.deadBytes += int64(size)
+	s.mu.Unlock()
+}
+
+// maybeClean compacts one sealed segment whose live fraction fell below
+// the threshold: live items are re-appended and their table entries
+// repointed, then the segment is recycled.
+//
+// Lock order everywhere is stripe → mu, so the cleaner must not hold mu
+// while repointing. It snapshots the victim's contents under mu, repoints
+// item by item under each item's stripe lock (re-checking liveness there —
+// a concurrent Set may have replaced the item), and only recycles the
+// segment once no entry can reference it.
+func (s *Store) maybeClean() {
+	if !s.cleaning.CompareAndSwap(false, true) {
+		return // one cleaner at a time
+	}
+	defer s.cleaning.Store(false)
+
+	s.mu.Lock()
+	victim := int32(-1)
+	for i, seg := range s.segs {
+		if int32(i) == s.active || seg.used == 0 {
+			continue
+		}
+		if float64(seg.live)/float64(seg.used) < s.cfg.CleanThreshold {
+			victim = int32(i)
+			break
+		}
+	}
+	if victim < 0 {
+		s.mu.Unlock()
+		return
+	}
+	seg := s.segs[victim]
+	snapshot := append([]byte(nil), seg.buf[:seg.used]...)
+	deadInSeg := int64(seg.used - seg.live)
+	s.mu.Unlock()
+
+	moved := 0
+	for off := 0; off < len(snapshot); {
+		kl := int(binary.LittleEndian.Uint16(snapshot[off : off+2]))
+		vl := int(binary.LittleEndian.Uint32(snapshot[off+2 : off+6]))
+		key := snapshot[off+itemHeader : off+itemHeader+kl]
+		val := snapshot[off+itemHeader+kl : off+itemHeader+kl+vl]
+		ref := itemRef{seg: victim, off: int32(off)}
+		h := fnv1a(key)
+
+		l := s.stripe(h)
+		l.Lock()
+		if e := s.findEntry(h, key); e != nil && e.ref == ref {
+			s.mu.Lock()
+			newRef, err := s.appendItem(key, val)
+			s.mu.Unlock()
+			if err == nil {
+				e.ref = newRef
+				moved++
+			}
+		}
+		l.Unlock()
+		off += itemHeader + kl + vl
+	}
+
+	s.mu.Lock()
+	seg.used, seg.live = 0, 0
+	s.freeSegs = append(s.freeSegs, victim)
+	s.deadBytes -= deadInSeg
+	s.cleanMoved += int64(moved)
+	s.cleanRuns++
+	s.mu.Unlock()
+}
+
+// Len returns the number of live items.
+func (s *Store) Len() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.liveItems
+}
+
+// LogBytes returns the total log capacity allocated.
+func (s *Store) LogBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return int64(len(s.segs)) * int64(s.cfg.SegmentSize)
+}
+
+// LiveBytes returns bytes occupied by live items.
+func (s *Store) LiveBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.liveBytes
+}
+
+// CleanRuns returns how many segments were compacted.
+func (s *Store) CleanRuns() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cleanRuns
+}

@@ -1,0 +1,201 @@
+package kvs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetGetDelete(t *testing.T) {
+	s := NewStore(Config{})
+	if _, ok := s.Get([]byte("missing")); ok {
+		t.Fatal("Get on empty store succeeded")
+	}
+	if err := s.Set([]byte("k1"), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := s.Get([]byte("k1"))
+	if !ok || string(v) != "v1" {
+		t.Fatalf("Get = %q,%v", v, ok)
+	}
+	// Overwrite.
+	s.Set([]byte("k1"), []byte("v2"))
+	v, _ = s.Get([]byte("k1"))
+	if string(v) != "v2" {
+		t.Fatalf("after overwrite: %q", v)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+	if !s.Delete([]byte("k1")) {
+		t.Fatal("Delete failed")
+	}
+	if s.Delete([]byte("k1")) {
+		t.Fatal("double Delete succeeded")
+	}
+	if _, ok := s.Get([]byte("k1")); ok {
+		t.Fatal("Get after Delete succeeded")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", s.Len())
+	}
+}
+
+func TestValueIsolation(t *testing.T) {
+	s := NewStore(Config{})
+	s.Set([]byte("k"), []byte("abc"))
+	v, _ := s.Get([]byte("k"))
+	v[0] = 'X' // mutate the returned copy
+	v2, _ := s.Get([]byte("k"))
+	if string(v2) != "abc" {
+		t.Fatal("returned value aliases store memory")
+	}
+}
+
+func TestLargeItemRejected(t *testing.T) {
+	s := NewStore(Config{SegmentSize: 1 << 12})
+	if err := s.Set([]byte("k"), make([]byte, 1<<13)); err != ErrTooLarge {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestSegmentRollover(t *testing.T) {
+	s := NewStore(Config{SegmentSize: 4096})
+	for i := 0; i < 100; i++ {
+		key := fmt.Appendf(nil, "key-%03d", i)
+		val := make([]byte, 300)
+		val[0] = byte(i)
+		if err := s.Set(key, val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		key := fmt.Appendf(nil, "key-%03d", i)
+		v, ok := s.Get(key)
+		if !ok || v[0] != byte(i) || len(v) != 300 {
+			t.Fatalf("key %d lost after rollover", i)
+		}
+	}
+	if s.LogBytes() < 8192 {
+		t.Fatal("log did not grow segments")
+	}
+}
+
+// Cleaning reclaims segments dominated by dead items and preserves every
+// live item.
+func TestCleaningPreservesLiveItems(t *testing.T) {
+	s := NewStore(Config{SegmentSize: 4096, CleanThreshold: 0.5})
+	// Churn a small key set so old versions accumulate.
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 8; i++ {
+			key := fmt.Appendf(nil, "key-%d", i)
+			val := fmt.Appendf(nil, "val-%d-%d", i, round)
+			if err := s.Set(key, val); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if s.CleanRuns() == 0 {
+		t.Fatal("cleaner never ran")
+	}
+	for i := 0; i < 8; i++ {
+		key := fmt.Appendf(nil, "key-%d", i)
+		v, ok := s.Get(key)
+		if !ok || string(v) != fmt.Sprintf("val-%d-49", i) {
+			t.Fatalf("key %d = %q,%v after cleaning", i, v, ok)
+		}
+	}
+	// The log stays bounded: far less than one segment per write.
+	if s.LogBytes() > 64*4096 {
+		t.Fatalf("log grew unboundedly: %d bytes", s.LogBytes())
+	}
+}
+
+// Property: the store behaves like a map under random operations.
+func TestStoreMatchesMap(t *testing.T) {
+	f := func(ops []uint16) bool {
+		s := NewStore(Config{SegmentSize: 1 << 14, Buckets: 64})
+		oracle := map[string]string{}
+		for _, op := range ops {
+			key := fmt.Sprintf("k%d", op%32)
+			switch (op / 32) % 3 {
+			case 0:
+				val := fmt.Sprintf("v%d", op)
+				s.Set([]byte(key), []byte(val))
+				oracle[key] = val
+			case 1:
+				got, ok := s.Get([]byte(key))
+				want, wok := oracle[key]
+				if ok != wok || (ok && string(got) != want) {
+					return false
+				}
+			case 2:
+				ok := s.Delete([]byte(key))
+				_, wok := oracle[key]
+				if ok != wok {
+					return false
+				}
+				delete(oracle, key)
+			}
+		}
+		if s.Len() != int64(len(oracle)) {
+			return false
+		}
+		for k, want := range oracle {
+			got, ok := s.Get([]byte(k))
+			if !ok || string(got) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Concurrency: parallel writers and readers over overlapping keys; run
+// with -race in CI.
+func TestConcurrentAccess(t *testing.T) {
+	s := NewStore(Config{SegmentSize: 1 << 14, CleanThreshold: 0.5})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Appendf(nil, "key-%d", i%64)
+				if i%3 == 0 {
+					s.Set(key, fmt.Appendf(nil, "v-%d-%d", w, i))
+				} else {
+					s.Get(key)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// All keys readable and well-formed afterwards.
+	for i := 0; i < 64; i++ {
+		key := fmt.Appendf(nil, "key-%d", i)
+		if v, ok := s.Get(key); ok && len(v) < 5 {
+			t.Fatalf("corrupt value %q", v)
+		}
+	}
+}
+
+func TestHashChainsExtend(t *testing.T) {
+	// Force chains: 1 bucket.
+	s := NewStore(Config{Buckets: 1, Stripes: 1})
+	for i := 0; i < 100; i++ {
+		s.Set(fmt.Appendf(nil, "key-%d", i), []byte("v"))
+	}
+	if s.Len() != 100 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	for i := 0; i < 100; i++ {
+		if _, ok := s.Get(fmt.Appendf(nil, "key-%d", i)); !ok {
+			t.Fatalf("key %d lost in chain", i)
+		}
+	}
+}

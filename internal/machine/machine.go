@@ -1,0 +1,721 @@
+// Package machine is the simulated testbed: a single NUMA socket with 24
+// cores, DRAM and NVM devices (plus an optional swap disk), and a
+// deterministic, time-stepped execution engine. Workloads describe their memory behaviour as traffic components
+// over page sets; tier managers (HeMem, Memory Mode, Nimble, static
+// placement, PT-scan variants) translate components into device traffic and
+// run background work; the machine solves a per-quantum contention model
+// across devices and CPU cores and advances everything together.
+//
+// All times are simulated nanoseconds; nothing in the package consults the
+// wall clock, so experiments are exactly reproducible.
+package machine
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/tieredmem/hemem/internal/mem"
+	"github.com/tieredmem/hemem/internal/pebs"
+	"github.com/tieredmem/hemem/internal/sim"
+	"github.com/tieredmem/hemem/internal/vm"
+)
+
+// Dev indexes the memory devices.
+type Dev int
+
+const (
+	DevDRAM Dev = iota
+	DevNVM
+	DevDisk
+	devCount
+)
+
+// TierDev maps a vm.Tier to a device index; pages not yet placed
+// (TierNone) are charged as NVM, the conservative choice.
+func TierDev(t vm.Tier) Dev {
+	switch t {
+	case vm.TierDRAM:
+		return DevDRAM
+	case vm.TierDisk:
+		return DevDisk
+	default:
+		return DevNVM
+	}
+}
+
+// Component describes one access stream of a workload: a page set, how
+// often an operation touches it, and how many bytes it reads/writes per
+// touch. Workloads must describe their traffic with components whose page
+// sets are mutually disjoint (overlapping popularity is expressed by
+// splitting shares), which lets both the placement cost model and the
+// Memory Mode cache model treat each set as a homogeneous zone.
+type Component struct {
+	// Set is the pages this stream touches, uniformly at random within
+	// the set (or as a stream for Sequential patterns).
+	Set *vm.PageSet
+	// Share is the expected number of occurrences of this stream per
+	// workload operation.
+	Share float64
+	// ReadBytes and WriteBytes are moved per occurrence.
+	ReadBytes  int64
+	WriteBytes int64
+	// Pattern selects the device bandwidth/latency profile.
+	Pattern mem.Pattern
+	// Deps is the number of dependent (serialized) latency visits per
+	// occurrence; 1 for a simple load, 2+ for pointer chases such as a
+	// hash bucket walk. Zero means 1.
+	Deps int
+	// WriteLatencySensitive charges the device write latency per
+	// occurrence. Most stores are posted and hide latency; flag this for
+	// synchronous read-modify-write paths.
+	WriteLatencySensitive bool
+}
+
+func (c Component) deps() float64 {
+	if c.Deps <= 0 {
+		return 1
+	}
+	return float64(c.Deps)
+}
+
+// Workload is a running application generating traffic.
+type Workload interface {
+	// Name identifies the workload in reports.
+	Name() string
+	// Threads is the number of application threads it runs.
+	Threads() int
+	// Components returns the current traffic description; it is called
+	// once per quantum and may change over time (e.g. a hot-set shift).
+	Components() []Component
+	// OnOps reports that the workload completed ops operations in the
+	// quantum, at an average per-op latency of opTime ns. Workloads use
+	// it to track progress and record latency distributions.
+	OnOps(now int64, ops float64, opTime float64)
+	// Done reports whether the workload has finished its run.
+	Done() bool
+}
+
+// CompCost is the contention-free cost of one occurrence of a component,
+// as produced by a tier manager's cost model.
+type CompCost struct {
+	// Time is the per-occurrence latency + transfer time in ns at zero
+	// contention.
+	Time float64
+	// Bytes is the media bytes moved per occurrence, per [device][kind];
+	// it drives wear accounting and device demand.
+	Bytes [devCount][2]float64
+	// Util is the device-seconds consumed per occurrence per
+	// [device][kind], i.e. Bytes normalized by the pattern-appropriate
+	// bandwidth ceiling. The solver sums Util×rate into device
+	// utilization and throttles workloads through saturated devices.
+	Util [devCount][2]float64
+}
+
+// Manager is a tiered-memory management system under test.
+type Manager interface {
+	// Name identifies the manager in reports.
+	Name() string
+	// Attach wires the manager to the machine before the run starts.
+	Attach(m *Machine)
+	// PageIn places a freshly touched page (the userfaultfd
+	// page-missing path): the manager must call p.SetTier.
+	PageIn(p *vm.Page)
+	// OnQuantum runs the manager's background work for one quantum.
+	OnQuantum(now, dt int64)
+	// ActiveThreads reports how many CPU cores the manager's background
+	// threads consumed this quantum (may be fractional).
+	ActiveThreads() float64
+}
+
+// CostModeler is implemented by managers that price traffic themselves
+// (Memory Mode's DRAM cache). Managers that don't implement it get the
+// default placement-based model.
+type CostModeler interface {
+	ComponentCost(c Component) CompCost
+}
+
+// SampleSource is implemented by managers that consume PEBS samples; the
+// machine feeds their sampler from the traffic streams each quantum.
+type SampleSource interface {
+	Sampler() *pebs.Sampler
+}
+
+// MigrationObserver is implemented by managers that want a callback when a
+// migration they enqueued completes.
+type MigrationObserver interface {
+	OnMigrated(p *vm.Page)
+}
+
+// Computes is implemented by workloads whose operations include CPU work
+// beyond memory traffic (request parsing, network stack, transaction
+// logic). ComputePerOp returns that service time in ns; it adds to the
+// per-op cost alongside the memory components.
+type Computes interface {
+	ComputePerOp() float64
+}
+
+// RateLimited is implemented by workloads driven at a fixed offered load
+// (e.g., FlexKVS latency runs at 30% load, Table 3): the machine caps the
+// achieved rate at TargetRate (ops/ns; 0 means unlimited).
+type RateLimited interface {
+	TargetRate() float64
+}
+
+// CostBranch is one outcome of an access with its probability, used to
+// build per-operation latency distributions (the FlexKVS percentile
+// experiments, Tables 3–4).
+type CostBranch struct {
+	Prob float64
+	Time float64 // ns
+}
+
+// Brancher is implemented by managers whose cost model has non-placement
+// branches (Memory Mode's cache hit/miss). Placement managers get the
+// default per-tier split.
+type Brancher interface {
+	ComponentBranches(c Component) []CostBranch
+}
+
+// TrafficObserver is implemented by managers that model traffic globally
+// (Memory Mode's cache needs every stream's line rates to compute
+// steady-state occupancy). The machine calls it once per quantum with each
+// active component and its achieved occurrence rate in occurrences/ns.
+type TrafficObserver interface {
+	ObserveTraffic(now int64, comps []Component, occRates []float64)
+}
+
+// Config holds the testbed parameters (defaults mirror the paper's
+// evaluation platform, §5).
+type Config struct {
+	Cores    int
+	DRAMSize int64
+	NVMSize  int64
+	// DiskSize backs the optional swap tier (§3.4).
+	DiskSize int64
+	PageSize int64
+	Quantum  int64
+	Seed     uint64
+}
+
+// DefaultConfig is one socket of the paper's dual-socket Cascade Lake
+// testbed: 24 cores, 192 GB DRAM, 768 GB Optane, 2 MB pages.
+func DefaultConfig() Config {
+	return Config{
+		Cores:    24,
+		DRAMSize: 192 * sim.GB,
+		NVMSize:  768 * sim.GB,
+		DiskSize: 4 * sim.TB,
+		PageSize: 2 * sim.MB,
+		Quantum:  sim.Millisecond,
+		Seed:     1,
+	}
+}
+
+// SetRates tracks the cumulative access integral of one page set, used by
+// scanning-based managers to evaluate accessed/dirty bit probabilities
+// lazily (per-page expected touches since a scanner's last pass).
+type SetRates struct {
+	// ReadIntegral and WriteIntegral are cumulative expected accesses
+	// *per page* of the set since the start of the run.
+	ReadIntegral  float64
+	WriteIntegral float64
+	// ReadRate and WriteRate are the current per-page access rates in
+	// accesses/ns, from the last quantum.
+	ReadRate  float64
+	WriteRate float64
+}
+
+// Machine is the simulated host.
+type Machine struct {
+	Cfg    Config
+	Clock  *sim.Clock
+	Events *sim.EventQueue
+	Rng    *sim.Rand
+
+	DRAM *mem.Device
+	NVM  *mem.Device
+	Disk *mem.Device
+	AS   *vm.AddressSpace
+
+	Mgr       Manager
+	Workloads []Workload
+	Migrator  *Migrator
+
+	rates     map[*vm.PageSet]*SetRates
+	rateOrder []*vm.PageSet
+
+	// stall accumulates per-thread stall time (TLB shootdowns) charged
+	// by managers during the current quantum.
+	stall int64
+
+	// Metrics
+	throughput map[string]*sim.Series // ops/s per workload over time
+	telemetry  *Telemetry
+	sampleEach int64
+	lastSample int64
+	totalOps   map[string]float64
+	faults     int64
+}
+
+// New builds a machine and attaches the manager.
+func New(cfg Config, mgr Manager) *Machine {
+	if cfg.Cores == 0 {
+		cfg = DefaultConfig()
+	}
+	m := &Machine{
+		Cfg:        cfg,
+		Clock:      sim.NewClock(),
+		Events:     sim.NewEventQueue(),
+		Rng:        sim.NewRand(cfg.Seed),
+		DRAM:       mem.NewDRAM(cfg.DRAMSize),
+		NVM:        mem.NewNVM(cfg.NVMSize),
+		Disk:       mem.NewDisk(cfg.DiskSize),
+		AS:         vm.NewAddressSpace(cfg.PageSize),
+		Mgr:        mgr,
+		rates:      make(map[*vm.PageSet]*SetRates),
+		throughput: make(map[string]*sim.Series),
+		totalOps:   make(map[string]float64),
+		sampleEach: 100 * sim.Millisecond,
+	}
+	m.Migrator = NewMigrator(m)
+	mgr.Attach(m)
+	return m
+}
+
+// Device returns the device instance for d.
+func (m *Machine) Device(d Dev) *mem.Device {
+	switch d {
+	case DevDRAM:
+		return m.DRAM
+	case DevDisk:
+		return m.Disk
+	default:
+		return m.NVM
+	}
+}
+
+// AddWorkload registers a workload to run.
+func (m *Machine) AddWorkload(w Workload) {
+	m.Workloads = append(m.Workloads, w)
+	m.throughput[w.Name()] = &sim.Series{Name: w.Name()}
+}
+
+// StallAll charges every running application thread d nanoseconds of stall
+// in the current quantum (TLB shootdown IPIs).
+func (m *Machine) StallAll(d int64) { m.stall += d }
+
+// Rates returns the access-integral tracker for set s, creating it if
+// needed. Scanning managers snapshot integrals at pass boundaries.
+func (m *Machine) Rates(s *vm.PageSet) *SetRates {
+	r, ok := m.rates[s]
+	if !ok {
+		r = &SetRates{}
+		m.rates[s] = r
+		m.rateOrder = append(m.rateOrder, s)
+	}
+	return r
+}
+
+// RateSets returns every page set with tracked access rates, in first-seen
+// order (deterministic). Scanning managers iterate these as the "zones"
+// of managed memory.
+func (m *Machine) RateSets() []*vm.PageSet { return m.rateOrder }
+
+// Warm touches every mapped page once in address order, letting the
+// manager place it (the paper's warm-up round: large ranges are allocated
+// at start and pre-filled from disk). It also charges the one-time
+// userfaultfd fault cost to the clock.
+func (m *Machine) Warm() {
+	n := 0
+	for _, r := range m.AS.Regions {
+		for _, p := range r.Pages {
+			if p.Tier == vm.TierNone {
+				m.Mgr.PageIn(p)
+				n++
+				if p.Tier == vm.TierNone {
+					panic("machine: manager did not place page on PageIn")
+				}
+			}
+		}
+	}
+	m.faults += int64(n)
+	m.Clock.Advance(int64(n) * vm.FaultCost)
+}
+
+// Faults returns the number of page-missing faults taken so far.
+func (m *Machine) Faults() int64 { return m.faults }
+
+// Throughput returns the recorded ops/s series for workload name.
+func (m *Machine) Throughput(name string) *sim.Series { return m.throughput[name] }
+
+// TotalOps returns cumulative operations completed by workload name.
+func (m *Machine) TotalOps(name string) float64 { return m.totalOps[name] }
+
+// Run advances the machine by duration.
+func (m *Machine) Run(duration int64) {
+	end := m.Clock.Now() + duration
+	for m.Clock.Now() < end {
+		dt := m.Cfg.Quantum
+		if left := end - m.Clock.Now(); left < dt {
+			dt = left
+		}
+		m.Step(dt)
+	}
+}
+
+// RunUntilDone advances until every workload reports Done (or maxDuration
+// elapses, to bound runaway experiments).
+func (m *Machine) RunUntilDone(maxDuration int64) {
+	end := m.Clock.Now() + maxDuration
+	for m.Clock.Now() < end {
+		done := true
+		for _, w := range m.Workloads {
+			if !w.Done() {
+				done = false
+				break
+			}
+		}
+		if done {
+			return
+		}
+		m.Step(m.Cfg.Quantum)
+	}
+}
+
+// Step advances one quantum: fire due events, compute workload rates under
+// the contention model, account traffic (wear, PEBS samples, access-bit
+// integrals), advance migrations, and run manager background work.
+func (m *Machine) Step(dt int64) {
+	now := m.Clock.Now()
+	m.Events.RunDue(now)
+
+	// Advance migrations first so completed moves are visible to this
+	// quantum's costing, and so their bandwidth use seeds utilization.
+	m.Migrator.advance(dt)
+	migMoved := m.Migrator.planned(dt)
+
+	type wstate struct {
+		w     Workload
+		comps []Component
+		costs []CompCost
+		rate  float64 // ops/ns
+		time  float64 // per-op ns (at achieved rate)
+	}
+	var ws []wstate
+	appThreads := 0
+	for _, w := range m.Workloads {
+		if w.Done() {
+			continue
+		}
+		ws = append(ws, wstate{w: w, comps: w.Components()})
+		appThreads += w.Threads()
+	}
+
+	// CPU share: application threads contend with manager background
+	// threads and migration copy threads for cores.
+	bg := m.Mgr.ActiveThreads() + m.Migrator.activeThreads()
+	cpuShare := 1.0
+	if total := float64(appThreads) + bg; total > float64(m.Cfg.Cores) {
+		cpuShare = float64(m.Cfg.Cores) / total
+	}
+
+	// Cost each component and compute unconstrained rates.
+	var util [devCount][2]float64
+	// Seed utilization with migration traffic (sequential streams).
+	for _, mv := range migMoved {
+		if mv.bytes == 0 {
+			continue
+		}
+		util[mv.srcDev][mem.Read] += mv.bytes / float64(dt) / m.Device(mv.srcDev).EffectiveBandwidth(mem.Read, mem.Sequential)
+		util[mv.dstDev][mem.Write] += mv.bytes / float64(dt) / m.Device(mv.dstDev).EffectiveBandwidth(mem.Write, mem.Sequential)
+	}
+
+	// Stalls charged by managers (TLB shootdowns) drain from a reservoir,
+	// smoothed over ~half a second: a scan pass deposits its whole
+	// shootdown cost at completion, but the IPIs really interleave with
+	// the scan, so the slowdown is spread rather than delivered as a
+	// brief near-total stall.
+	const stallWindow = 500 * sim.Millisecond
+	stallNow := m.stall * dt / stallWindow
+	if stallNow < dt/100 && m.stall > 0 {
+		// Drain small residues quickly instead of asymptotically.
+		stallNow = m.stall
+	}
+	if max := dt * 95 / 100; stallNow > max {
+		stallNow = max
+	}
+	m.stall -= stallNow
+	stallFrac := float64(stallNow) / float64(dt)
+	for i := range ws {
+		s := &ws[i]
+		s.costs = make([]CompCost, len(s.comps))
+		var opTime float64
+		if comp, ok := s.w.(Computes); ok {
+			opTime += comp.ComputePerOp()
+		}
+		for j, c := range s.comps {
+			cc := m.costComponent(c)
+			s.costs[j] = cc
+			opTime += c.Share * cc.Time
+		}
+		if opTime <= 0 {
+			opTime = 1
+		}
+		s.time = opTime
+		s.rate = float64(s.w.Threads()) * cpuShare * (1 - stallFrac) / opTime
+		if rl, ok := s.w.(RateLimited); ok {
+			if target := rl.TargetRate(); target > 0 && s.rate > target {
+				s.rate = target
+			}
+		}
+		for j := range s.comps {
+			for d := Dev(0); d < devCount; d++ {
+				for k := 0; k < 2; k++ {
+					util[d][k] += s.rate * s.comps[j].Share * s.costs[j].Util[d][k]
+				}
+			}
+		}
+	}
+
+	// Throttle each workload by its worst saturated device-kind.
+	for i := range ws {
+		s := &ws[i]
+		factor := 1.0
+		for d := Dev(0); d < devCount; d++ {
+			for k := 0; k < 2; k++ {
+				if util[d][k] > 1 {
+					// Does this workload use (d,k)?
+					uses := false
+					for j := range s.comps {
+						if s.costs[j].Util[d][k] > 0 {
+							uses = true
+							break
+						}
+					}
+					if uses && 1/util[d][k] < factor {
+						factor = 1 / util[d][k]
+					}
+				}
+			}
+		}
+		s.rate *= factor
+		if factor > 0 {
+			s.time /= factor
+		}
+	}
+
+	// Commit: ops, wear, PEBS, access integrals.
+	ss, _ := m.Mgr.(SampleSource)
+	var obsComps []Component
+	var obsRates []float64
+	obs, observing := m.Mgr.(TrafficObserver)
+	for i := range ws {
+		s := &ws[i]
+		ops := s.rate * float64(dt)
+		m.totalOps[s.w.Name()] += ops
+		s.w.OnOps(now, ops, s.time)
+		for j, c := range s.comps {
+			occ := ops * c.Share
+			if occ <= 0 || c.Set == nil || c.Set.Len() == 0 {
+				continue
+			}
+			if observing {
+				obsComps = append(obsComps, c)
+				obsRates = append(obsRates, s.rate*c.Share)
+			}
+			// Wear: charge media bytes to devices.
+			for d := Dev(0); d < devCount; d++ {
+				if b := s.costs[j].Bytes[d][mem.Read] * occ; b > 0 {
+					m.Device(d).RecordBytes(mem.Read, b)
+				}
+				if b := s.costs[j].Bytes[d][mem.Write] * occ; b > 0 {
+					m.Device(d).RecordBytes(mem.Write, b)
+				}
+			}
+			// Access-bit integrals (per page of the set).
+			r := m.Rates(c.Set)
+			per := occ / float64(c.Set.Len())
+			if c.ReadBytes > 0 {
+				r.ReadIntegral += per
+				r.ReadRate = per / float64(dt)
+			}
+			if c.WriteBytes > 0 {
+				r.WriteIntegral += per
+				r.WriteRate = per / float64(dt)
+			}
+			// PEBS sampling.
+			if ss != nil {
+				m.feedSamples(ss.Sampler(), c, occ)
+			}
+		}
+	}
+
+	if observing {
+		obs.ObserveTraffic(now, obsComps, obsRates)
+	}
+	m.Mgr.OnQuantum(now, dt)
+
+	// Record instantaneous throughput periodically.
+	if now-m.lastSample >= m.sampleEach {
+		for i := range ws {
+			m.throughput[ws[i].w.Name()].Append(now, ws[i].rate*1e9)
+		}
+		m.lastSample = now
+	}
+	if m.telemetry != nil {
+		m.telemetry.sample(m, now, stallFrac)
+	}
+
+	m.Clock.Advance(dt)
+}
+
+// feedSamples converts a component's traffic into PEBS records: one load
+// event per cache line read and one store event per cache line written,
+// sampled at the manager's configured period.
+func (m *Machine) feedSamples(s *pebs.Sampler, c Component, occ float64) {
+	pick := func(store bool) pebs.Record {
+		p := c.Set.Page(m.Rng.Intn(c.Set.Len()))
+		k := pebs.LoadDRAM
+		if store {
+			k = pebs.Store
+		} else if p.Tier != vm.TierDRAM {
+			k = pebs.LoadNVM
+		}
+		return pebs.Record{Page: p.ID, Kind: k}
+	}
+	if c.ReadBytes > 0 {
+		lines := math.Ceil(float64(c.ReadBytes) / 64)
+		s.Feed(occ*lines, pebs.ClassLoad, func() pebs.Record { return pick(false) })
+	}
+	if c.WriteBytes > 0 {
+		lines := math.Ceil(float64(c.WriteBytes) / 64)
+		s.Feed(occ*lines, pebs.ClassStore, func() pebs.Record { return pick(true) })
+	}
+}
+
+// costComponent prices one component occurrence, delegating to the
+// manager's cost model if it has one.
+func (m *Machine) costComponent(c Component) CompCost {
+	if cm, ok := m.Mgr.(CostModeler); ok {
+		return cm.ComponentCost(c)
+	}
+	return m.PlacementCost(c)
+}
+
+// TLB model constants: a Cascade Lake-class dTLB holds ~1536 entries; a
+// miss costs a page-table walk of ~60 ns on average.
+const (
+	tlbEntries = 1536
+	tlbWalkNs  = 60.0
+)
+
+// TLBWalkCost returns the expected page-walk cost per occurrence for
+// random accesses over set: sets larger than the TLB reach (1536 entries ×
+// page size — 3 GB with 2 MB pages) miss almost always, which is why the
+// paper tracks at huge-page granularity to begin with.
+func (m *Machine) TLBWalkCost(set *vm.PageSet, pattern mem.Pattern) float64 {
+	if pattern != mem.Random || set == nil {
+		return 0
+	}
+	reach := float64(tlbEntries) * float64(m.Cfg.PageSize)
+	span := float64(set.Len()) * float64(m.Cfg.PageSize)
+	if span <= reach {
+		return 0
+	}
+	return tlbWalkNs * (1 - reach/span)
+}
+
+// PlacementCost is the default cost model for placement-based managers:
+// the component's set is split by current tier occupancy, and each side is
+// charged the device's latency and streaming time at media granularity.
+func (m *Machine) PlacementCost(c Component) CompCost {
+	var cc CompCost
+	if c.Set == nil || c.Set.Len() == 0 {
+		cc.Time = 1
+		return cc
+	}
+	fracs := [devCount]float64{
+		DevDRAM: c.Set.Frac(vm.TierDRAM),
+		DevNVM:  c.Set.Frac(vm.TierNVM) + c.Set.Frac(vm.TierNone),
+		DevDisk: c.Set.Frac(vm.TierDisk),
+	}
+	walk := m.TLBWalkCost(c.Set, c.Pattern)
+	for d := Dev(0); d < devCount; d++ {
+		f := fracs[d]
+		if f == 0 {
+			continue
+		}
+		dev := m.Device(d)
+		cc.Time += f * walk
+		if c.ReadBytes > 0 {
+			cc.Time += f * c.deps() * dev.AccessTime(mem.Read, c.Pattern, c.ReadBytes/int64(c.deps()))
+			media := float64(dev.MediaBytes(c.ReadBytes))
+			cc.Bytes[d][mem.Read] += f * media
+			cc.Util[d][mem.Read] += f * media / dev.PeakFor(mem.Read, c.Pattern, c.ReadBytes)
+		}
+		if c.WriteBytes > 0 {
+			media := float64(dev.MediaBytes(c.WriteBytes))
+			// Posted writes hide latency unless flagged; transfer
+			// time is charged through utilization, with a small
+			// per-store cost to keep ops from being free.
+			t := media / dev.StreamRate(mem.Write, c.Pattern)
+			if c.WriteLatencySensitive {
+				t += dev.AccessTime(mem.Write, c.Pattern, c.WriteBytes)
+			}
+			cc.Time += f * t
+			cc.Bytes[d][mem.Write] += f * media
+			cc.Util[d][mem.Write] += f * media / dev.PeakFor(mem.Write, c.Pattern, c.WriteBytes)
+		}
+	}
+	return cc
+}
+
+// Branches returns the latency outcomes of one occurrence of c under the
+// active manager: the manager's own branches if it is a Brancher,
+// otherwise the placement split — the DRAM-resident fraction of the set at
+// the DRAM cost and the rest at the NVM cost.
+func (m *Machine) Branches(c Component) []CostBranch {
+	if b, ok := m.Mgr.(Brancher); ok {
+		return b.ComponentBranches(c)
+	}
+	if c.Set == nil || c.Set.Len() == 0 {
+		return []CostBranch{{Prob: 1, Time: 1}}
+	}
+	var out []CostBranch
+	for _, t := range []vm.Tier{vm.TierDRAM, vm.TierNVM, vm.TierDisk} {
+		f := c.Set.Frac(t)
+		if t == vm.TierNVM {
+			f += c.Set.Frac(vm.TierNone)
+		}
+		if f == 0 {
+			continue
+		}
+		out = append(out, CostBranch{Prob: f, Time: m.CostIn(c, t)})
+	}
+	if len(out) == 0 {
+		out = []CostBranch{{Prob: 1, Time: m.CostIn(c, vm.TierNVM)}}
+	}
+	return out
+}
+
+// CostIn prices one occurrence of c assuming its pages reside in tier t.
+func (m *Machine) CostIn(c Component, t vm.Tier) float64 {
+	dev := m.Device(TierDev(t))
+	time := m.TLBWalkCost(c.Set, c.Pattern)
+	if c.ReadBytes > 0 {
+		deps := c.deps()
+		time += deps * dev.AccessTime(mem.Read, c.Pattern, c.ReadBytes/int64(deps))
+	}
+	if c.WriteBytes > 0 {
+		time += float64(dev.MediaBytes(c.WriteBytes)) / dev.StreamRate(mem.Write, c.Pattern)
+		if c.WriteLatencySensitive {
+			time += dev.AccessTime(mem.Write, c.Pattern, c.WriteBytes)
+		}
+	}
+	return time
+}
+
+// String describes the machine configuration.
+func (m *Machine) String() string {
+	return fmt.Sprintf("machine{%d cores, %s, %s, mgr=%s}", m.Cfg.Cores, m.DRAM, m.NVM, m.Mgr.Name())
+}

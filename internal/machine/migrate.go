@@ -1,0 +1,209 @@
+package machine
+
+import (
+	"github.com/tieredmem/hemem/internal/dma"
+	"github.com/tieredmem/hemem/internal/mem"
+	"github.com/tieredmem/hemem/internal/sim"
+	"github.com/tieredmem/hemem/internal/vm"
+)
+
+// CopyBackend moves page contents between tiers: either the I/OAT DMA
+// engine (no CPU cost) or a pool of copy threads (à la Nimble).
+type CopyBackend interface {
+	// Throughput is sustained copy bandwidth in bytes/ns.
+	Throughput() float64
+	// Threads is the number of CPU cores consumed while copying.
+	Threads() float64
+}
+
+// DMABackend adapts dma.Engine as a CopyBackend.
+type DMABackend struct{ Engine *dma.Engine }
+
+// Throughput returns the engine's sustained page-copy bandwidth.
+func (b DMABackend) Throughput() float64 {
+	return b.Engine.Throughput(4, 2, 2*sim.MB)
+}
+
+// Threads is zero: DMA offload frees the CPU entirely.
+func (b DMABackend) Threads() float64 { return 0 }
+
+// ThreadBackend adapts dma.ThreadCopier as a CopyBackend. The copy pool is
+// dedicated — like Nimble's migration kthreads, the workers hold their
+// cores whether or not a migration is in flight, which is why the paper
+// measures a persistent throughput cost for the no-DMA configuration at
+// high thread counts (Figure 7).
+type ThreadBackend struct{ Copier *dma.ThreadCopier }
+
+// Throughput returns aggregate memcpy bandwidth.
+func (b ThreadBackend) Throughput() float64 { return b.Copier.Throughput() }
+
+// Threads is the copy thread count; the pool occupies its cores
+// continuously.
+func (b ThreadBackend) Threads() float64 { return float64(b.Copier.Threads) }
+
+// Dedicated marks the pool as holding cores even while idle.
+func (b ThreadBackend) Dedicated() bool { return true }
+
+// MigStats aggregates migration activity.
+type MigStats struct {
+	Pages      int64
+	Bytes      float64
+	Promotions int64 // NVM → DRAM
+	Demotions  int64 // DRAM → NVM
+}
+
+type migReq struct {
+	page *vm.Page
+	dst  vm.Tier
+}
+
+// moved summarizes the bytes a quantum's migrations put on each device.
+type moved struct {
+	bytes  float64
+	srcDev Dev
+	dstDev Dev
+}
+
+// Migrator executes page migrations asynchronously against a bandwidth
+// budget: the policy's rate cap (the paper sets 10 GB/s so migration never
+// disturbs the application) and the copy backend's own throughput.
+type Migrator struct {
+	m       *Machine
+	backend CopyBackend
+	// RateCap bounds migration bandwidth in bytes/ns.
+	RateCap float64
+
+	queue    []migReq
+	headDone float64 // bytes of the head page already copied
+	busy     bool
+
+	lastMoved [devCount]moved // per direction (index: dst device)
+	stats     MigStats
+}
+
+// NewMigrator returns a migrator using the DMA engine backend and the
+// paper's 10 GB/s cap.
+func NewMigrator(m *Machine) *Migrator {
+	return &Migrator{
+		m:       m,
+		backend: DMABackend{Engine: dma.New(dma.DefaultConfig())},
+		RateCap: sim.GBps(10),
+	}
+}
+
+// SetBackend switches the copy backend (e.g., to 4 copy threads).
+func (g *Migrator) SetBackend(b CopyBackend) { g.backend = b }
+
+// Backend returns the current copy backend.
+func (g *Migrator) Backend() CopyBackend { return g.backend }
+
+// Enqueue schedules page p to move to tier dst. Pages already migrating or
+// already in dst are ignored. The page is write-protected for the duration
+// of the copy (userfaultfd WP), which the simulation marks via
+// p.Migrating.
+func (g *Migrator) Enqueue(p *vm.Page, dst vm.Tier) bool {
+	if p.Migrating || p.Tier == dst || dst == vm.TierNone {
+		return false
+	}
+	p.Migrating = true
+	g.queue = append(g.queue, migReq{page: p, dst: dst})
+	return true
+}
+
+// QueueLen returns the number of pages waiting to move.
+func (g *Migrator) QueueLen() int { return len(g.queue) }
+
+// QueuedBytes returns the bytes still to be copied.
+func (g *Migrator) QueuedBytes() float64 {
+	if len(g.queue) == 0 {
+		return 0
+	}
+	ps := float64(g.m.Cfg.PageSize)
+	return float64(len(g.queue))*ps - g.headDone
+}
+
+// Stats returns cumulative migration statistics.
+func (g *Migrator) Stats() MigStats { return g.stats }
+
+// advance runs up to one quantum's worth of copying: budget-limited FIFO
+// processing with wear charged to both devices. It is called by
+// Machine.Step before traffic costing so completed moves are visible
+// immediately.
+func (g *Migrator) advance(dt int64) {
+	g.lastMoved = [devCount]moved{}
+	if len(g.queue) == 0 {
+		g.busy = false
+		return
+	}
+	g.busy = true
+	rate := g.RateCap
+	if bt := g.backend.Throughput(); bt < rate {
+		rate = bt
+	}
+	budget := rate * float64(dt)
+	ps := float64(g.m.Cfg.PageSize)
+	for budget > 0 && len(g.queue) > 0 {
+		req := g.queue[0]
+		need := ps - g.headDone
+		chunk := need
+		if chunk > budget {
+			chunk = budget
+		}
+		budget -= chunk
+		g.headDone += chunk
+		g.charge(req.page.Tier, req.dst, chunk)
+		if g.headDone >= ps {
+			g.headDone = 0
+			g.queue = g.queue[1:]
+			g.complete(req)
+		}
+	}
+	if len(g.queue) == 0 {
+		g.busy = false
+	}
+}
+
+// charge accounts one chunk of copy traffic on devices and in the
+// per-direction summary used for utilization seeding.
+func (g *Migrator) charge(src, dst vm.Tier, bytes float64) {
+	sd, dd := TierDev(src), TierDev(dst)
+	g.m.Device(sd).RecordBytes(mem.Read, bytes)
+	g.m.Device(dd).RecordBytes(mem.Write, bytes)
+	mv := &g.lastMoved[dd]
+	mv.bytes += bytes
+	mv.srcDev, mv.dstDev = sd, dd
+	g.stats.Bytes += bytes
+}
+
+// complete finalizes one page move.
+func (g *Migrator) complete(req migReq) {
+	if req.dst == vm.TierDRAM {
+		g.stats.Promotions++
+	} else {
+		g.stats.Demotions++
+	}
+	g.stats.Pages++
+	req.page.SetTier(req.dst)
+	req.page.Migrating = false
+	if obs, ok := g.m.Mgr.(MigrationObserver); ok {
+		obs.OnMigrated(req.page)
+	}
+}
+
+// planned reports the traffic moved in the most recent advance, for the
+// contention solver.
+func (g *Migrator) planned(dt int64) [devCount]moved { return g.lastMoved }
+
+// activeThreads reports copy-thread core consumption for the CPU model.
+// Dedicated pools (copy threads) hold their cores always; the DMA engine
+// costs nothing either way.
+func (g *Migrator) activeThreads() float64 {
+	type dedicated interface{ Dedicated() bool }
+	if d, ok := g.backend.(dedicated); ok && d.Dedicated() {
+		return g.backend.Threads()
+	}
+	if !g.busy {
+		return 0
+	}
+	return g.backend.Threads()
+}

@@ -1,0 +1,121 @@
+package machine
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/tieredmem/hemem/internal/mem"
+	"github.com/tieredmem/hemem/internal/sim"
+)
+
+// Telemetry records machine-level time series while the simulation runs:
+// per-device read/write bandwidth (from wear-counter deltas, so it covers
+// application traffic, migrations, and cache writebacks alike), migration
+// backlog, and the TLB-stall fraction. It backs instantaneous plots like
+// the paper's Figures 9 and 16 for any experiment, and exports CSV.
+type Telemetry struct {
+	every int64
+	last  int64
+
+	lastWear [devCount]mem.Wear
+	series   map[string]*sim.Series
+}
+
+// EnableTelemetry starts recording a sample every interval of simulated
+// time (e.g. 100 ms). Calling it again resets the recording.
+func (m *Machine) EnableTelemetry(interval int64) *Telemetry {
+	if interval <= 0 {
+		interval = 100 * sim.Millisecond
+	}
+	t := &Telemetry{every: interval, series: make(map[string]*sim.Series), last: m.Clock.Now()}
+	for d := Dev(0); d < devCount; d++ {
+		t.lastWear[d] = m.Device(d).Wear()
+	}
+	m.telemetry = t
+	return t
+}
+
+// Telemetry returns the active recorder, or nil.
+func (m *Machine) Telemetry() *Telemetry { return m.telemetry }
+
+// get returns (creating) the named series.
+func (t *Telemetry) get(name string) *sim.Series {
+	s, ok := t.series[name]
+	if !ok {
+		s = &sim.Series{Name: name}
+		t.series[name] = s
+	}
+	return s
+}
+
+// sample is called by Machine.Step once per interval.
+func (t *Telemetry) sample(m *Machine, now int64, stallFrac float64) {
+	if now-t.last < t.every {
+		return
+	}
+	dt := float64(now - t.last)
+	t.last = now
+	names := [devCount]string{"dram", "nvm", "disk"}
+	for d := Dev(0); d < devCount; d++ {
+		w := m.Device(d).Wear()
+		prev := t.lastWear[d]
+		t.lastWear[d] = w
+		t.get(names[d]+".read.gbps").Append(now, sim.BytesPerNsToGBps((w.ReadBytes-prev.ReadBytes)/dt))
+		t.get(names[d]+".write.gbps").Append(now, sim.BytesPerNsToGBps((w.WriteBytes-prev.WriteBytes)/dt))
+	}
+	t.get("migration.queue.pages").Append(now, float64(m.Migrator.QueueLen()))
+	t.get("migration.total.gb").Append(now, m.Migrator.Stats().Bytes/float64(sim.GB))
+	t.get("stall.frac").Append(now, stallFrac)
+}
+
+// Series returns the named series, or nil (names:
+// {dram,nvm,disk}.{read,write}.gbps, migration.queue.pages,
+// migration.total.gb, stall.frac, plus workload.<name>.ops per workload).
+func (t *Telemetry) Series(name string) *sim.Series { return t.series[name] }
+
+// Names returns all recorded series names, sorted.
+func (t *Telemetry) Names() []string {
+	out := make([]string, 0, len(t.series))
+	for n := range t.series {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WriteCSV emits every series aligned on the sampling timestamps: one
+// "t_seconds" column plus one column per series.
+func (t *Telemetry) WriteCSV(w io.Writer) error {
+	names := t.Names()
+	if len(names) == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprint(w, "t_seconds"); err != nil {
+		return err
+	}
+	for _, n := range names {
+		if _, err := fmt.Fprintf(w, ",%s", n); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	ref := t.series[names[0]]
+	for i := 0; i < ref.Len(); i++ {
+		ts := ref.Times[i]
+		if _, err := fmt.Fprintf(w, "%.3f", float64(ts)/1e9); err != nil {
+			return err
+		}
+		for _, n := range names {
+			if _, err := fmt.Fprintf(w, ",%.6g", t.series[n].At(ts)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,204 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/tieredmem/hemem/internal/sim"
+)
+
+func gbps(d *Device, k Kind, p Pattern, block int64, threads int) float64 {
+	return sim.BytesPerNsToGBps(d.Throughput(k, p, block, threads))
+}
+
+// The §2.2 calibration facts from the paper, verified at scale (24
+// threads, 256 B blocks, matching the paper's microbenchmark).
+func TestPaperBandwidthRatios(t *testing.T) {
+	dram := NewDRAM(192 * sim.GB)
+	nvm := NewNVM(768 * sim.GB)
+	const block, threads = 256, 24
+
+	seqW := gbps(dram, Write, Sequential, block, threads) / gbps(nvm, Write, Sequential, block, threads)
+	if seqW < 15 || seqW > 18 {
+		t.Errorf("DRAM/NVM seq write ratio = %.1f, paper says 16.5", seqW)
+	}
+	randW := gbps(dram, Write, Random, block, threads) / gbps(nvm, Write, Random, block, threads)
+	if randW < 9.5 || randW > 12 {
+		t.Errorf("DRAM/NVM rand write ratio = %.1f, paper says 10.7", randW)
+	}
+	randR := gbps(dram, Read, Random, block, threads) / gbps(nvm, Read, Random, block, threads)
+	if randR < 2.4 || randR > 3.0 {
+		t.Errorf("DRAM/NVM rand read ratio = %.1f, paper says 2.7", randR)
+	}
+	// "sequential Optane read throughput is even able to surpass DRAM
+	// random access throughput by 14% at scale."
+	cross := gbps(nvm, Read, Sequential, block, threads) / gbps(dram, Read, Random, block, threads)
+	if cross < 1.05 || cross > 1.25 {
+		t.Errorf("NVM seq read / DRAM rand read = %.2f, paper says 1.14", cross)
+	}
+}
+
+// "Optane write bandwidth is saturated with four threads, regardless of
+// access pattern."
+func TestNVMWriteSaturatesAtFourThreads(t *testing.T) {
+	nvm := NewNVM(768 * sim.GB)
+	for _, p := range []Pattern{Sequential, Random} {
+		at4 := nvm.Throughput(Write, p, 256, 4)
+		at16 := nvm.Throughput(Write, p, 256, 16)
+		if at16 > at4*1.05 {
+			t.Errorf("NVM %v write grew from 4→16 threads: %.2f → %.2f GB/s",
+				p, sim.BytesPerNsToGBps(at4), sim.BytesPerNsToGBps(at16))
+		}
+	}
+	// Reads keep scaling past 4 threads.
+	r4 := nvm.Throughput(Read, Random, 256, 4)
+	r8 := nvm.Throughput(Read, Random, 256, 8)
+	if r8 < r4*1.5 {
+		t.Errorf("NVM random read should scale past 4 threads: %.2f → %.2f GB/s",
+			sim.BytesPerNsToGBps(r4), sim.BytesPerNsToGBps(r8))
+	}
+}
+
+// Figure 2: NVM sequential read is saturated almost immediately and block
+// size has little effect; small random reads suffer on both devices.
+func TestAccessSizeEffects(t *testing.T) {
+	dram := NewDRAM(192 * sim.GB)
+	nvm := NewNVM(768 * sim.GB)
+
+	small := nvm.Throughput(Read, Sequential, 256, 16)
+	large := nvm.Throughput(Read, Sequential, 64*sim.KB, 16)
+	if large > small*1.2 {
+		t.Errorf("NVM seq read grew too much with block size: %.1f → %.1f GB/s",
+			sim.BytesPerNsToGBps(small), sim.BytesPerNsToGBps(large))
+	}
+
+	// Small random reads are far below seq on both devices.
+	for _, d := range []*Device{dram, nvm} {
+		r := d.Throughput(Read, Random, 64, 16)
+		s := d.Throughput(Read, Sequential, 64*sim.KB, 16)
+		if r > s/2 {
+			t.Errorf("%s: 64B random read %.1f not well below large seq %.1f",
+				d.Spec.Name, sim.BytesPerNsToGBps(r), sim.BytesPerNsToGBps(s))
+		}
+	}
+
+	// The seq/rand gap closes as block size increases (Figure 2).
+	gapSmall := dram.Throughput(Read, Sequential, 256, 16) / dram.Throughput(Read, Random, 256, 16)
+	gapLarge := dram.Throughput(Read, Sequential, 256*sim.KB, 16) / dram.Throughput(Read, Random, 256*sim.KB, 16)
+	if gapLarge >= gapSmall {
+		t.Errorf("seq/rand gap did not close with size: %.2f → %.2f", gapSmall, gapLarge)
+	}
+}
+
+// "Accessing small (≤4KB) objects randomly on Optane is slow" — media
+// granularity makes an 8 B NVM access cost a full 256 B transfer.
+func TestMediaGranularity(t *testing.T) {
+	nvm := NewNVM(768 * sim.GB)
+	if got := nvm.MediaBytes(8); got != 256 {
+		t.Fatalf("MediaBytes(8) = %d, want 256", got)
+	}
+	if got := nvm.MediaBytes(256); got != 256 {
+		t.Fatalf("MediaBytes(256) = %d, want 256", got)
+	}
+	if got := nvm.MediaBytes(257); got != 512 {
+		t.Fatalf("MediaBytes(257) = %d, want 512", got)
+	}
+	if got := nvm.MediaBytes(0); got != 0 {
+		t.Fatalf("MediaBytes(0) = %d, want 0", got)
+	}
+	dram := NewDRAM(192 * sim.GB)
+	if got := dram.MediaBytes(8); got != 64 {
+		t.Fatalf("DRAM MediaBytes(8) = %d, want 64", got)
+	}
+}
+
+func TestAccessTimeLatencies(t *testing.T) {
+	dram := NewDRAM(192 * sim.GB)
+	nvm := NewNVM(768 * sim.GB)
+	// Random read latency floor: Table 1 (82 ns DRAM, 175 ns NVM).
+	if at := dram.AccessTime(Read, Random, 8); at < 82 || at > 120 {
+		t.Errorf("DRAM 8B random read = %.0f ns, want ~82+transfer", at)
+	}
+	if at := nvm.AccessTime(Read, Random, 8); at < 175 || at > 320 {
+		t.Errorf("NVM 8B random read = %.0f ns, want ~175+transfer", at)
+	}
+	// NVM write latency is lower than read latency (Table 1: 94 vs 175).
+	if nvm.Spec.WriteLatency >= nvm.Spec.ReadLatency {
+		t.Error("NVM write latency should be below read latency")
+	}
+}
+
+func TestWearAccounting(t *testing.T) {
+	nvm := NewNVM(768 * sim.GB)
+	nvm.Record(Write, 8, 100) // 100 8-byte writes => 100 × 256 media bytes
+	w := nvm.Wear()
+	if w.WriteBytes != 100*256 {
+		t.Fatalf("WriteBytes = %v, want 25600", w.WriteBytes)
+	}
+	if w.WriteOps != 100 {
+		t.Fatalf("WriteOps = %v, want 100", w.WriteOps)
+	}
+	nvm.Record(Read, 256, 2)
+	if got := nvm.Wear().ReadBytes; got != 512 {
+		t.Fatalf("ReadBytes = %v, want 512", got)
+	}
+	nvm.RecordBytes(Write, 1000)
+	if got := nvm.Wear().WriteBytes; got != 100*256+1000 {
+		t.Fatalf("WriteBytes after RecordBytes = %v", got)
+	}
+	nvm.ResetWear()
+	if nvm.Wear() != (Wear{}) {
+		t.Fatal("ResetWear did not zero counters")
+	}
+}
+
+// Property: throughput is monotone non-decreasing in thread count and never
+// exceeds the device ceiling.
+func TestThroughputMonotoneAndCapped(t *testing.T) {
+	nvm := NewNVM(768 * sim.GB)
+	dram := NewDRAM(192 * sim.GB)
+	f := func(kindRaw, patRaw uint8, blockRaw uint16, threadsRaw uint8) bool {
+		kind := Kind(kindRaw % 2)
+		pat := Pattern(patRaw % 2)
+		block := int64(blockRaw%4096) + 1
+		threads := int(threadsRaw%32) + 1
+		for _, d := range []*Device{nvm, dram} {
+			t1 := d.Throughput(kind, pat, block, threads)
+			t2 := d.Throughput(kind, pat, block, threads+1)
+			if t2 < t1 {
+				return false
+			}
+			amp := float64(block) / float64(d.MediaBytes(block))
+			if t2 > d.PeakFor(kind, pat, block)*amp*1.0001 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: media bytes are a multiple of granularity and >= size.
+func TestMediaBytesProperty(t *testing.T) {
+	nvm := NewNVM(768 * sim.GB)
+	f := func(sizeRaw uint32) bool {
+		size := int64(sizeRaw % 1_000_000)
+		m := nvm.MediaBytes(size)
+		if size == 0 {
+			return m == 0
+		}
+		return m >= size && m%256 == 0 && m-size < 256
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeviceString(t *testing.T) {
+	d := NewNVM(768 * sim.GB)
+	if got := d.String(); got != "NVM(768 GB)" {
+		t.Fatalf("String() = %q", got)
+	}
+}

@@ -1,0 +1,300 @@
+// Package memmode implements Intel Optane DC "memory mode" (§2.4): all
+// data physically lives in NVM, and DRAM acts as a hardware-managed
+// direct-mapped cache with 64 B lines. Software sees one flat memory and
+// has no control; there is no hot/cold tracking, no policy, and no CPU
+// overhead — but conflict misses grow as occupancy rises, every miss
+// fetches a 256 B NVM media block, and dirty evictions write NVM
+// constantly (the wear behaviour of Figure 16).
+//
+// The cache is modelled analytically. Workload traffic decomposes into
+// disjoint zones (one per component page set). Cache-set composition is
+// Poisson per zone (n_z/S lines expected per set), and within a set the
+// cached line is the most recently accessed, so a specific line of zone z
+// is resident with probability E[a_z / (a_z + Σ_j k_j·a_j)], estimated by
+// deterministic Monte Carlo over set compositions. For a single uniform
+// zone this reduces to the closed form (1−e^{−λ})/λ — the unit tests check
+// the estimator against it.
+package memmode
+
+import (
+	"github.com/tieredmem/hemem/internal/machine"
+	"github.com/tieredmem/hemem/internal/mem"
+	"github.com/tieredmem/hemem/internal/sim"
+	"github.com/tieredmem/hemem/internal/vm"
+)
+
+const lineSize = 64
+
+// zone is the cache model's view of one component page set.
+type zone struct {
+	set   *vm.PageSet
+	lines float64 // cacheable lines in the zone
+	// readLineRate/writeLineRate are line accesses per ns (smoothed).
+	readLineRate  float64
+	writeLineRate float64
+	pattern       mem.Pattern
+
+	hit   float64 // P(access to a line of this zone hits)
+	wb    float64 // expected dirty-victim writebacks per miss
+	valid bool
+}
+
+// perLineRate is the access rate of one line of the zone.
+func (z *zone) perLineRate() float64 {
+	if z.lines == 0 {
+		return 0
+	}
+	return (z.readLineRate + z.writeLineRate) / z.lines
+}
+
+// dirtyFrac is the probability a cached line of this zone is dirty.
+func (z *zone) dirtyFrac() float64 {
+	t := z.readLineRate + z.writeLineRate
+	if t == 0 {
+		return 0
+	}
+	// A line that receives any writes is dirty essentially always once
+	// cached; approximate by the write share of traffic, saturating
+	// quickly.
+	f := z.writeLineRate / t * 2
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
+// MemoryMode is the hardware tiering manager.
+type MemoryMode struct {
+	m   *machine.Machine
+	rng *sim.Rand
+
+	cacheSets float64
+	zones     map[*vm.PageSet]*zone
+	lastModel int64
+	// ModelRefresh controls how often the Monte-Carlo occupancy model is
+	// recomputed (simulated ns).
+	ModelRefresh int64
+	// MCSamples is the number of set compositions sampled per zone.
+	MCSamples int
+}
+
+// New returns a memory-mode manager.
+func New() *MemoryMode {
+	return &MemoryMode{
+		zones:        make(map[*vm.PageSet]*zone),
+		ModelRefresh: 50 * sim.Millisecond,
+		MCSamples:    2000,
+	}
+}
+
+// Name implements machine.Manager.
+func (mm *MemoryMode) Name() string { return "MM" }
+
+// Attach implements machine.Manager.
+func (mm *MemoryMode) Attach(m *machine.Machine) {
+	mm.m = m
+	mm.rng = sim.NewRand(m.Cfg.Seed ^ 0x3153)
+	mm.cacheSets = float64(m.Cfg.DRAMSize / lineSize)
+	mm.lastModel = -1
+}
+
+// PageIn implements machine.Manager: in memory mode everything is backed
+// by NVM; the DRAM cache is invisible to placement.
+func (mm *MemoryMode) PageIn(p *vm.Page) { p.SetTier(vm.TierNVM) }
+
+// OnQuantum implements machine.Manager.
+func (mm *MemoryMode) OnQuantum(now, dt int64) {}
+
+// ActiveThreads implements machine.Manager: pure hardware, zero cores.
+func (mm *MemoryMode) ActiveThreads() float64 { return 0 }
+
+// ObserveTraffic implements machine.TrafficObserver: update zone rates and
+// periodically refresh the occupancy model.
+func (mm *MemoryMode) ObserveTraffic(now int64, comps []machine.Component, occRates []float64) {
+	seen := make(map[*vm.PageSet]bool, len(comps))
+	for i, c := range comps {
+		z, ok := mm.zones[c.Set]
+		if !ok {
+			z = &zone{set: c.Set, lines: float64(c.Set.Bytes() / lineSize)}
+			mm.zones[c.Set] = z
+		}
+		z.pattern = c.Pattern
+		rl := occRates[i] * linesOf(c.ReadBytes)
+		wl := occRates[i] * linesOf(c.WriteBytes)
+		if seen[c.Set] {
+			z.readLineRate += rl
+			z.writeLineRate += wl
+		} else {
+			z.readLineRate = rl
+			z.writeLineRate = wl
+			seen[c.Set] = true
+		}
+	}
+	if mm.lastModel < 0 || now-mm.lastModel >= mm.ModelRefresh {
+		mm.refreshModel()
+		mm.lastModel = now
+	}
+}
+
+func linesOf(bytes int64) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	n := (bytes + lineSize - 1) / lineSize
+	return float64(n)
+}
+
+// refreshModel recomputes per-zone hit rates and writeback expectations by
+// Monte Carlo over cache-set compositions.
+func (mm *MemoryMode) refreshModel() {
+	zones := make([]*zone, 0, len(mm.zones))
+	for _, z := range mm.zones {
+		if z.perLineRate() > 0 {
+			zones = append(zones, z)
+		}
+	}
+	for _, target := range zones {
+		a := target.perLineRate()
+		var hitSum, wbSum, missSum float64
+		for s := 0; s < mm.MCSamples; s++ {
+			// Competing line-rate mass in this cache set.
+			var compete float64
+			var rateByZone [16]float64
+			for j, z := range zones {
+				k := mm.rng.Poisson(z.lines / mm.cacheSets)
+				r := float64(k) * z.perLineRate()
+				compete += r
+				if j < len(rateByZone) {
+					rateByZone[j] = r
+				}
+			}
+			// The target line hits iff it was the last access to
+			// its set: probability a/(a+compete). (Poissonization:
+			// the other lines of its own zone are already in
+			// compete.)
+			hit := a / (a + compete)
+			hitSum += hit
+			// On a miss the victim is the currently cached line,
+			// which belongs to zone j with probability ∝ its rate
+			// mass and writes back if dirty. Condition on the miss
+			// actually happening: sets with no competitors produce
+			// (almost) no misses and no victims.
+			if compete > 0 {
+				miss := 1 - hit
+				missSum += miss
+				var wb float64
+				for j, z := range zones {
+					if j < len(rateByZone) {
+						wb += rateByZone[j] / compete * z.dirtyFrac()
+					}
+				}
+				wbSum += miss * wb
+			}
+		}
+		target.hit = hitSum / float64(mm.MCSamples)
+		if missSum > 0 {
+			target.wb = wbSum / missSum
+		} else {
+			target.wb = 0
+		}
+		target.valid = true
+	}
+}
+
+// HitRate returns the modelled hit rate for the zone backing set, for
+// tests and reports.
+func (mm *MemoryMode) HitRate(set *vm.PageSet) float64 {
+	if z, ok := mm.zones[set]; ok && z.valid {
+		return z.hit
+	}
+	return 1
+}
+
+// ComponentBranches implements machine.Brancher: an access either hits the
+// DRAM cache or misses to NVM (plus the fill), which is what spreads MM's
+// latency tail in Tables 3 and 4.
+func (mm *MemoryMode) ComponentBranches(c machine.Component) []machine.CostBranch {
+	hit := 1.0
+	if z, ok := mm.zones[c.Set]; ok && z.valid {
+		hit = z.hit
+	}
+	dramTime := mm.m.CostIn(c, vm.TierDRAM)
+	nvmTime := mm.m.CostIn(c, vm.TierNVM)
+	return []machine.CostBranch{
+		{Prob: hit, Time: dramTime},
+		{Prob: 1 - hit, Time: nvmTime},
+	}
+}
+
+// ComponentCost implements machine.CostModeler: price accesses through the
+// DRAM cache.
+func (mm *MemoryMode) ComponentCost(c machine.Component) machine.CompCost {
+	var cc machine.CompCost
+	if c.Set == nil || c.Set.Len() == 0 {
+		cc.Time = 1
+		return cc
+	}
+	dram, nvm := mm.m.DRAM, mm.m.NVM
+	z, ok := mm.zones[c.Set]
+	hit, wb := 1.0, 0.0
+	if ok && z.valid {
+		hit, wb = z.hit, z.wb
+	}
+	miss := 1 - hit
+
+	cc.Time += mm.m.TLBWalkCost(c.Set, c.Pattern)
+
+	// Reads: hits from DRAM; misses fetch a 256 B NVM media block, fill
+	// DRAM, and evict (writeback if dirty).
+	if c.ReadBytes > 0 {
+		lines := linesOf(c.ReadBytes)
+		deps := float64(c.Deps)
+		if deps <= 0 {
+			deps = 1
+		}
+		perDep := c.ReadBytes / int64(deps)
+		cc.Time += deps * hit * dram.AccessTime(mem.Read, c.Pattern, perDep)
+		cc.Time += deps * miss * nvm.AccessTime(mem.Read, c.Pattern, perDep)
+
+		dramBytes := hit * float64(dram.MediaBytes(c.ReadBytes))
+		nvmBytes := miss * lines * float64(nvm.MediaBytes(lineSize))
+		fill := miss * lines * lineSize
+		wbBytes := miss * wb * lines * float64(nvm.MediaBytes(lineSize))
+
+		cc.Bytes[machine.DevDRAM][mem.Read] += dramBytes
+		cc.Bytes[machine.DevNVM][mem.Read] += nvmBytes
+		cc.Bytes[machine.DevDRAM][mem.Write] += fill
+		cc.Bytes[machine.DevNVM][mem.Write] += wbBytes
+
+		cc.Util[machine.DevDRAM][mem.Read] += dramBytes / dram.PeakFor(mem.Read, c.Pattern, c.ReadBytes)
+		cc.Util[machine.DevNVM][mem.Read] += nvmBytes / nvm.PeakFor(mem.Read, c.Pattern, lineSize)
+		cc.Util[machine.DevDRAM][mem.Write] += fill / dram.PeakFor(mem.Write, c.Pattern, lineSize)
+		cc.Util[machine.DevNVM][mem.Write] += wbBytes / nvm.PeakFor(mem.Write, mem.Random, lineSize)
+	}
+
+	// Writes: stores land in the DRAM cache. If the component also reads
+	// the same lines (read-modify-write), the store always hits the
+	// just-fetched line; otherwise it write-allocates on a miss.
+	if c.WriteBytes > 0 {
+		lines := linesOf(c.WriteBytes)
+		storeMiss := miss
+		if c.ReadBytes > 0 {
+			storeMiss = 0
+		}
+		dramBytes := float64(dram.MediaBytes(c.WriteBytes))
+		cc.Time += dramBytes / dram.Spec.Stream[mem.Write]
+		cc.Bytes[machine.DevDRAM][mem.Write] += dramBytes
+		cc.Util[machine.DevDRAM][mem.Write] += dramBytes / dram.PeakFor(mem.Write, c.Pattern, c.WriteBytes)
+
+		if storeMiss > 0 {
+			fetch := storeMiss * lines * float64(nvm.MediaBytes(lineSize))
+			wbBytes := storeMiss * wb * lines * float64(nvm.MediaBytes(lineSize))
+			cc.Time += storeMiss * nvm.AccessTime(mem.Read, c.Pattern, lineSize)
+			cc.Bytes[machine.DevNVM][mem.Read] += fetch
+			cc.Bytes[machine.DevNVM][mem.Write] += wbBytes
+			cc.Util[machine.DevNVM][mem.Read] += fetch / nvm.PeakFor(mem.Read, c.Pattern, lineSize)
+			cc.Util[machine.DevNVM][mem.Write] += wbBytes / nvm.PeakFor(mem.Write, mem.Random, lineSize)
+		}
+	}
+	return cc
+}

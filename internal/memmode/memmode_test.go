@@ -1,0 +1,108 @@
+package memmode_test
+
+import (
+	"math"
+	"testing"
+
+	"github.com/tieredmem/hemem/internal/core"
+	"github.com/tieredmem/hemem/internal/gups"
+	"github.com/tieredmem/hemem/internal/machine"
+	"github.com/tieredmem/hemem/internal/memmode"
+	"github.com/tieredmem/hemem/internal/sim"
+)
+
+// runGUPS runs uniform or hot-set GUPS under a manager and returns score
+// and machine.
+func runGUPS(mgr machine.Manager, cfg gups.Config, dur int64) (float64, *machine.Machine, *gups.GUPS) {
+	m := machine.New(machine.DefaultConfig(), mgr)
+	g := gups.New(m, cfg)
+	m.Warm()
+	m.Run(dur)
+	return g.Score(), m, g
+}
+
+// For a single uniform zone the Monte-Carlo occupancy estimator must match
+// the closed form (1−e^{−λ})/λ.
+func TestHitRateMatchesClosedForm(t *testing.T) {
+	for _, wsGB := range []int64{64, 128, 256} {
+		mm := memmode.New()
+		_, _, g := runGUPS(mm, gups.Config{Threads: 16, WorkingSet: wsGB * sim.GB}, 500*sim.Millisecond)
+		set := g.Components()[0].Set
+		lambda := float64(wsGB*sim.GB/64) / float64(192*sim.GB/64)
+		want := (1 - math.Exp(-lambda)) / lambda
+		got := mm.HitRate(set)
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("ws=%dGB: hit rate %.3f, closed form %.3f", wsGB, got, want)
+		}
+	}
+}
+
+// Figure 5, small working sets: MM performs like DRAM (all hits).
+func TestMMMatchesDRAMWhenSmall(t *testing.T) {
+	mmScore, _, _ := runGUPS(memmode.New(), gups.Config{Threads: 16, WorkingSet: 16 * sim.GB}, 2*sim.Second)
+	heScore, _, _ := runGUPS(core.New(core.DefaultConfig()), gups.Config{Threads: 16, WorkingSet: 16 * sim.GB}, 2*sim.Second)
+	if mmScore < heScore*0.85 || mmScore > heScore*1.15 {
+		t.Errorf("small WS: MM %.3f vs HeMem %.3f, want ≈equal", mmScore, heScore)
+	}
+}
+
+// Figure 5 at 128 GB (working set still under DRAM capacity): MM suffers
+// conflict misses that HeMem does not; the paper reports HeMem at 3.2× MM.
+func TestConflictMissGapAt128GB(t *testing.T) {
+	mmScore, mMM, _ := runGUPS(memmode.New(), gups.Config{Threads: 16, WorkingSet: 128 * sim.GB}, 3*sim.Second)
+	heScore, mHe, _ := runGUPS(core.New(core.DefaultConfig()), gups.Config{Threads: 16, WorkingSet: 128 * sim.GB}, 3*sim.Second)
+	ratio := heScore / mmScore
+	if ratio < 2 || ratio > 5 {
+		t.Errorf("HeMem/MM at 128GB = %.2f, paper says 3.2", ratio)
+	}
+	// MM writes NVM constantly (dirty evictions); HeMem should not.
+	if mMM.NVM.Wear().WriteBytes < 100*float64(mHe.NVM.Wear().WriteBytes+1) {
+		t.Errorf("MM NVM writes %.2e not ≫ HeMem %.2e",
+			mMM.NVM.Wear().WriteBytes, mHe.NVM.Wear().WriteBytes)
+	}
+}
+
+// Figure 6: with a fixed 512 GB working set, MM degrades as the hot set
+// grows toward DRAM capacity while HeMem holds up (paper: up to 2×).
+func TestHotSetGrowthDegradesMM(t *testing.T) {
+	small, _, _ := runGUPS(memmode.New(), gups.Config{
+		Threads: 16, WorkingSet: 512 * sim.GB, HotSet: 8 * sim.GB, Seed: 3}, 3*sim.Second)
+	big, _, _ := runGUPS(memmode.New(), gups.Config{
+		Threads: 16, WorkingSet: 512 * sim.GB, HotSet: 128 * sim.GB, Seed: 3}, 3*sim.Second)
+	if big > small*0.8 {
+		t.Errorf("MM with 128GB hot (%.3f) should trail 8GB hot (%.3f)", big, small)
+	}
+}
+
+// MM uses zero cores: at 24 application threads it should not lose
+// throughput to background work (Figure 7's divergence).
+func TestMMZeroCPUOverhead(t *testing.T) {
+	mm := memmode.New()
+	if mm.ActiveThreads() != 0 {
+		t.Fatal("MM must consume no cores")
+	}
+}
+
+// Write-skew blindness (Table 2): MM cannot keep the write-only partition
+// out of NVM writebacks, so HeMem beats it.
+func TestWriteSkewMMvsHeMem(t *testing.T) {
+	cfg := gups.Config{
+		Threads: 16, WorkingSet: 512 * sim.GB, HotSet: 256 * sim.GB,
+		WriteOnlyHot: 128 * sim.GB, Seed: 7,
+	}
+	// Let each system converge, then score a steady-state window.
+	steady := func(mgr machine.Manager) float64 {
+		m := machine.New(machine.DefaultConfig(), mgr)
+		g := gups.New(m, cfg)
+		m.Warm()
+		m.Run(240 * sim.Second)
+		g.ResetScore()
+		m.Run(60 * sim.Second)
+		return g.Score()
+	}
+	mmScore := steady(memmode.New())
+	heScore := steady(core.New(core.DefaultConfig()))
+	if heScore <= mmScore {
+		t.Errorf("write skew: HeMem %.4f should beat MM %.4f (paper: MM = 0.86× HeMem)", heScore, mmScore)
+	}
+}

@@ -1,0 +1,199 @@
+// Package pebs models processor event-based sampling as HeMem uses it
+// (§3.1): the CPU writes a record into a preallocated buffer once every
+// sample-period memory accesses, distinguishing loads served from DRAM
+// (MEM_LOAD_L3_MISS_RETIRED.LOCAL_DRAM), loads served from NVM
+// (MEM_LOAD_RETIRED.LOCAL_PMM), and all stores
+// (MEM_INST_RETIRED.ALL_STORES), each tagged with the virtual address (here:
+// the page) of the sampled instruction.
+//
+// The model preserves the two failure modes the paper's sensitivity study
+// (Figure 10) exposes: at low sample periods the PEBS thread cannot keep up
+// and records are dropped from the full buffer; at high periods samples
+// arrive too rarely to track the hot set.
+package pebs
+
+import "github.com/tieredmem/hemem/internal/vm"
+
+// Kind classifies a sample by the performance counter that produced it.
+type Kind uint8
+
+const (
+	LoadDRAM Kind = iota
+	LoadNVM
+	Store
+)
+
+func (k Kind) String() string {
+	switch k {
+	case LoadDRAM:
+		return "load-dram"
+	case LoadNVM:
+		return "load-nvm"
+	default:
+		return "store"
+	}
+}
+
+// Record is one PEBS sample.
+type Record struct {
+	Page vm.PageID
+	Kind Kind
+}
+
+// Buffer is the fixed-capacity sample buffer shared between the (simulated)
+// CPU and the PEBS reader thread. When full, new samples are dropped and
+// counted, exactly like a real PEBS buffer overrun.
+type Buffer struct {
+	buf     []Record
+	head    int
+	n       int
+	pushed  uint64
+	dropped uint64
+}
+
+// NewBuffer allocates a buffer holding capacity records.
+func NewBuffer(capacity int) *Buffer {
+	if capacity <= 0 {
+		panic("pebs: buffer capacity must be positive")
+	}
+	return &Buffer{buf: make([]Record, capacity)}
+}
+
+// Push appends a record, returning false (and counting a drop) if full.
+func (b *Buffer) Push(r Record) bool {
+	if b.n == len(b.buf) {
+		b.dropped++
+		return false
+	}
+	b.buf[(b.head+b.n)%len(b.buf)] = r
+	b.n++
+	b.pushed++
+	return true
+}
+
+// Pop removes the oldest record.
+func (b *Buffer) Pop() (Record, bool) {
+	if b.n == 0 {
+		return Record{}, false
+	}
+	r := b.buf[b.head]
+	b.head = (b.head + 1) % len(b.buf)
+	b.n--
+	return r, true
+}
+
+// Len returns the number of buffered records.
+func (b *Buffer) Len() int { return b.n }
+
+// Cap returns the buffer capacity.
+func (b *Buffer) Cap() int { return len(b.buf) }
+
+// Pushed returns the total number of records successfully written.
+func (b *Buffer) Pushed() uint64 { return b.pushed }
+
+// Dropped returns the number of records lost to buffer overruns.
+func (b *Buffer) Dropped() uint64 { return b.dropped }
+
+// DropFraction returns dropped/(dropped+pushed), the metric of Figure 10.
+func (b *Buffer) DropFraction() float64 {
+	total := b.pushed + b.dropped
+	if total == 0 {
+		return 0
+	}
+	return float64(b.dropped) / float64(total)
+}
+
+// Class distinguishes the two counter groups HeMem programs: loads (which
+// PEBS further attributes to DRAM or NVM by the serving memory) and stores.
+type Class uint8
+
+const (
+	ClassLoad Class = iota
+	ClassStore
+)
+
+// Sampler turns an analytic stream of memory accesses into discrete PEBS
+// records at the configured period. The machine feeds it fractional access
+// counts each quantum; a carry accumulator keeps long-run sample counts
+// exact regardless of quantum size.
+type Sampler struct {
+	// Period is the number of memory accesses per sample (the paper's
+	// default is 5,000).
+	Period float64
+
+	buf   *Buffer
+	carry [2]float64
+}
+
+// NewSampler creates a sampler with the given period writing into buf.
+func NewSampler(period float64, buf *Buffer) *Sampler {
+	if period <= 0 {
+		panic("pebs: sample period must be positive")
+	}
+	return &Sampler{Period: period, buf: buf}
+}
+
+// Buffer returns the buffer the sampler writes to.
+func (s *Sampler) Buffer() *Buffer { return s.buf }
+
+// Feed records that n accesses of class c occurred, sampling records via
+// pick. pick is called once per emitted sample and must return the page
+// the sampled instruction touched — drawn from the workload's current
+// access distribution — along with the counter that fired (for loads,
+// LoadDRAM vs LoadNVM depending on which memory served it).
+func (s *Sampler) Feed(n float64, c Class, pick func() Record) {
+	s.carry[c] += n / s.Period
+	for s.carry[c] >= 1 {
+		s.carry[c]--
+		s.buf.Push(pick())
+	}
+}
+
+// Reader models HeMem's dedicated PEBS thread: it drains the buffer at a
+// bounded processing rate, handing each record to the classifier. If the
+// sampler outpaces the reader, the buffer fills and samples drop.
+type Reader struct {
+	// RatePerSec is the reader's processing capacity in records per
+	// second of simulated time (classification involves a page lookup and
+	// counter updates per record).
+	RatePerSec float64
+
+	carry float64
+}
+
+// DefaultReaderRate is the calibrated per-thread record-processing
+// capacity. With GUPS at ~0.1 Gops/s, sample periods below ~1k outpace
+// this rate and drop a large fraction of samples (the paper observes up to
+// 30% dropped), while the default 5k period drops essentially none,
+// matching Figure 10.
+const DefaultReaderRate = 200_000
+
+// NewReader returns a reader with the given capacity (records/second).
+func NewReader(ratePerSec float64) *Reader {
+	if ratePerSec <= 0 {
+		panic("pebs: reader rate must be positive")
+	}
+	return &Reader{RatePerSec: ratePerSec}
+}
+
+// Drain processes up to its rate budget for a quantum of dt nanoseconds,
+// invoking consume for each record, and returns the number processed.
+func (r *Reader) Drain(buf *Buffer, dt int64, consume func(Record)) int {
+	r.carry += r.RatePerSec * float64(dt) / 1e9
+	processed := 0
+	for r.carry >= 1 {
+		rec, ok := buf.Pop()
+		if !ok {
+			break
+		}
+		r.carry--
+		consume(rec)
+		processed++
+	}
+	// Unused budget does not bank beyond one quantum's worth; an idle
+	// reader cannot "save up" capacity it didn't use.
+	if max := r.RatePerSec * float64(dt) / 1e9; r.carry > max {
+		r.carry = max
+	}
+	return processed
+}

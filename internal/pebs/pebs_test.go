@@ -1,0 +1,210 @@
+package pebs
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/tieredmem/hemem/internal/sim"
+	"github.com/tieredmem/hemem/internal/vm"
+)
+
+func TestBufferFIFO(t *testing.T) {
+	b := NewBuffer(4)
+	for i := 0; i < 3; i++ {
+		if !b.Push(Record{Page: vm.PageID(i)}) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		r, ok := b.Pop()
+		if !ok || r.Page != vm.PageID(i) {
+			t.Fatalf("pop %d = %v,%v", i, r.Page, ok)
+		}
+	}
+	if _, ok := b.Pop(); ok {
+		t.Fatal("pop from empty succeeded")
+	}
+}
+
+func TestBufferOverrunDrops(t *testing.T) {
+	b := NewBuffer(2)
+	b.Push(Record{Page: 1})
+	b.Push(Record{Page: 2})
+	if b.Push(Record{Page: 3}) {
+		t.Fatal("push into full buffer succeeded")
+	}
+	if b.Dropped() != 1 || b.Pushed() != 2 {
+		t.Fatalf("dropped=%d pushed=%d", b.Dropped(), b.Pushed())
+	}
+	if got := b.DropFraction(); got < 0.33 || got > 0.34 {
+		t.Fatalf("DropFraction = %v, want 1/3", got)
+	}
+	// Draining frees space again.
+	b.Pop()
+	if !b.Push(Record{Page: 4}) {
+		t.Fatal("push after pop failed")
+	}
+}
+
+func TestBufferWrapAround(t *testing.T) {
+	b := NewBuffer(3)
+	next := vm.PageID(0)
+	expect := vm.PageID(0)
+	for round := 0; round < 50; round++ {
+		for b.Push(Record{Page: next}) {
+			next++
+		}
+		for {
+			r, ok := b.Pop()
+			if !ok {
+				break
+			}
+			if r.Page != expect {
+				t.Fatalf("round %d: got %d want %d", round, r.Page, expect)
+			}
+			expect++
+		}
+	}
+}
+
+func TestSamplerPeriod(t *testing.T) {
+	b := NewBuffer(1 << 20)
+	s := NewSampler(5000, b)
+	picked := 0
+	pick := func() Record { picked++; return Record{Page: 7, Kind: Store} }
+
+	// 1M accesses at period 5000 → exactly 200 samples.
+	for i := 0; i < 100; i++ {
+		s.Feed(10_000, ClassStore, pick)
+	}
+	if b.Len() != 200 || picked != 200 {
+		t.Fatalf("samples = %d (picked %d), want 200", b.Len(), picked)
+	}
+	r, _ := b.Pop()
+	if r.Kind != Store || r.Page != 7 {
+		t.Fatalf("record = %+v", r)
+	}
+}
+
+func TestSamplerFractionalCarry(t *testing.T) {
+	b := NewBuffer(1 << 16)
+	s := NewSampler(1000, b)
+	// Feed 0.1 accesses 20,000 times = 2000 accesses = 2 samples.
+	for i := 0; i < 20000; i++ {
+		s.Feed(0.1, ClassLoad, func() Record { return Record{Page: 1, Kind: LoadNVM} })
+	}
+	if got := int(b.Pushed()); got < 1 || got > 3 {
+		t.Fatalf("fractional feed produced %d samples, want ~2", got)
+	}
+}
+
+func TestSamplerKindsIndependent(t *testing.T) {
+	b := NewBuffer(1 << 16)
+	s := NewSampler(100, b)
+	s.Feed(99, ClassStore, func() Record { return Record{Page: 1, Kind: Store} })
+	s.Feed(99, ClassLoad, func() Record { return Record{Page: 1, Kind: LoadNVM} })
+	if b.Len() != 0 {
+		t.Fatal("kinds should carry independently below one period")
+	}
+	s.Feed(1, ClassStore, func() Record { return Record{Page: 1, Kind: Store} })
+	if b.Len() != 1 {
+		t.Fatal("store carry lost")
+	}
+}
+
+func TestReaderBoundedRate(t *testing.T) {
+	b := NewBuffer(1 << 16)
+	for i := 0; i < 1000; i++ {
+		b.Push(Record{Page: vm.PageID(i)})
+	}
+	r := NewReader(100_000) // 100k/s
+	var got []Record
+	n := r.Drain(b, 1*sim.Millisecond, func(rec Record) { got = append(got, rec) })
+	if n != 100 {
+		t.Fatalf("drained %d in 1ms at 100k/s, want 100", n)
+	}
+	if b.Len() != 900 {
+		t.Fatalf("buffer len = %d, want 900", b.Len())
+	}
+	// Budget does not bank across idle quanta beyond one quantum.
+	empty := NewBuffer(16)
+	r2 := NewReader(100_000)
+	r2.Drain(empty, 100*sim.Millisecond, func(Record) {})
+	for i := 0; i < 16; i++ {
+		empty.Push(Record{})
+	}
+	n = r2.Drain(empty, 1*sim.Millisecond, func(Record) {})
+	if n > 16 {
+		t.Fatalf("reader banked unbounded budget: %d", n)
+	}
+}
+
+// End-to-end: when generation rate exceeds reader rate, drops occur; when
+// below, none do (the Figure 10 mechanism).
+func TestDropsOnlyWhenOutpaced(t *testing.T) {
+	run := func(period float64) float64 {
+		b := NewBuffer(4096)
+		s := NewSampler(period, b)
+		r := NewReader(DefaultReaderRate)
+		// 0.1 Gops/s for 2 simulated seconds, 1 ms quanta.
+		for i := 0; i < 2000; i++ {
+			s.Feed(100_000, ClassStore, func() Record { return Record{Page: 1, Kind: Store} })
+			r.Drain(b, sim.Millisecond, func(Record) {})
+		}
+		return b.DropFraction()
+	}
+	if d := run(250); d < 0.1 {
+		t.Errorf("period 250: drop fraction %.3f, want >10%% (paper: up to 30%%)", d)
+	}
+	if d := run(5000); d > 0.001 {
+		t.Errorf("period 5000: drop fraction %.4f, want ~0", d)
+	}
+}
+
+// Property: pushed + dropped equals total offered, and Len never exceeds
+// capacity.
+func TestBufferConservation(t *testing.T) {
+	f := func(ops []bool, capRaw uint8) bool {
+		capacity := int(capRaw%64) + 1
+		b := NewBuffer(capacity)
+		var offered, popped uint64
+		for _, push := range ops {
+			if push {
+				b.Push(Record{})
+				offered++
+			} else if _, ok := b.Pop(); ok {
+				popped++
+			}
+			if b.Len() > b.Cap() {
+				return false
+			}
+		}
+		return b.Pushed()+b.Dropped() == offered && b.Pushed()-popped == uint64(b.Len())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"buffer":  func() { NewBuffer(0) },
+		"sampler": func() { NewSampler(0, NewBuffer(1)) },
+		"reader":  func() { NewReader(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic on invalid arg", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if LoadDRAM.String() != "load-dram" || LoadNVM.String() != "load-nvm" || Store.String() != "store" {
+		t.Fatal("Kind strings wrong")
+	}
+}

@@ -1,0 +1,111 @@
+package ptscan
+
+import (
+	"math"
+	"testing"
+
+	"github.com/tieredmem/hemem/internal/gups"
+	"github.com/tieredmem/hemem/internal/machine"
+	"github.com/tieredmem/hemem/internal/sim"
+	"github.com/tieredmem/hemem/internal/xmem"
+)
+
+func TestPassTimeMatchesScanModel(t *testing.T) {
+	m := machine.New(machine.DefaultConfig(), xmem.DRAMFirst())
+	m.AS.Map("data", 64*sim.GB)
+	s := NewScanner(m, 4*1024)
+	want := s.Model.ScanTime(64*sim.GB, 4*1024)
+	if got := s.PassTime(); got != want {
+		t.Fatalf("PassTime = %d, want %d", got, want)
+	}
+	// Default granularity falls back to 4K.
+	if s2 := NewScanner(m, 0); s2.Granularity != 4*1024 {
+		t.Fatalf("default granularity = %d", s2.Granularity)
+	}
+}
+
+// Scan results convert access integrals into bit probabilities: the first
+// pass sees everything accumulated so far, the second only the delta.
+func TestCompleteIntegralDeltas(t *testing.T) {
+	m := machine.New(machine.DefaultConfig(), xmem.DRAMFirst())
+	g := gups.New(m, gups.Config{Threads: 16, WorkingSet: 8 * sim.GB})
+	m.Warm()
+	s := NewScanner(m, 4*1024)
+
+	m.Run(200 * sim.Millisecond)
+	res1 := s.Complete()
+	if len(res1) != 1 {
+		t.Fatalf("zones = %d, want 1", len(res1))
+	}
+	set := g.Components()[0].Set
+	wantPerPage := g.Updates() / float64(set.Len())
+	if math.Abs(res1[0].ExpectedReads-wantPerPage)/wantPerPage > 0.02 {
+		t.Fatalf("first pass reads/page = %v, want %v", res1[0].ExpectedReads, wantPerPage)
+	}
+	wantFrac := 1 - math.Exp(-(res1[0].ExpectedReads + res1[0].ExpectedWrites))
+	if math.Abs(res1[0].FracAccessed-wantFrac) > 1e-9 {
+		t.Fatalf("FracAccessed = %v, want %v", res1[0].FracAccessed, wantFrac)
+	}
+
+	// Without further traffic, the next pass sees zero delta.
+	res2 := s.Complete()
+	if res2[0].ExpectedReads != 0 || res2[0].FracAccessed != 0 {
+		t.Fatalf("second pass without traffic = %+v", res2[0])
+	}
+}
+
+// Dirty-bit probabilities track only the write integral.
+func TestCompleteDirtySplit(t *testing.T) {
+	m := machine.New(machine.DefaultConfig(), xmem.DRAMFirst())
+	g := gups.New(m, gups.Config{
+		Threads: 16, WorkingSet: 64 * sim.GB, HotSet: 32 * sim.GB,
+		WriteOnlyHot: 16 * sim.GB, Seed: 2,
+	})
+	m.Warm()
+	s := NewScanner(m, 4*1024)
+	m.Run(sim.Second)
+	var sawWriteOnly, sawReadOnly bool
+	for _, r := range s.Complete() {
+		switch r.Set {
+		case g.WriteOnlyPages():
+			sawWriteOnly = true
+			if r.ExpectedReads != 0 || r.ExpectedWrites == 0 {
+				t.Fatalf("write-only zone: %+v", r)
+			}
+			if r.FracDirty != r.FracAccessed {
+				t.Fatal("write-only zone should be fully dirty among accessed")
+			}
+		case g.HotPages():
+			sawReadOnly = true
+			if r.ExpectedWrites != 0 {
+				t.Fatalf("read-only zone has writes: %+v", r)
+			}
+			if r.FracDirty != 0 {
+				t.Fatal("read-only zone should have no dirty bits")
+			}
+		}
+	}
+	if !sawWriteOnly || !sawReadOnly {
+		t.Fatal("expected zones missing from scan results")
+	}
+}
+
+// Completing a pass charges the shootdown stall for the scanned range.
+func TestCompleteChargesStall(t *testing.T) {
+	m := machine.New(machine.DefaultConfig(), xmem.DRAMFirst())
+	g := gups.New(m, gups.Config{Threads: 16, WorkingSet: 8 * sim.GB})
+	m.Warm()
+	m.Run(100 * sim.Millisecond)
+	base := g.Updates()
+	m.Run(100 * sim.Millisecond)
+	freeRate := g.Updates() - base
+
+	s := NewScanner(m, 4*1024)
+	s.Complete() // deposits the stall for ~2M scanned entries
+	before := g.Updates()
+	m.Run(100 * sim.Millisecond)
+	stalled := g.Updates() - before
+	if stalled >= freeRate*0.99 {
+		t.Fatalf("stall had no effect: %v vs %v ops per 100ms", stalled, freeRate)
+	}
+}

@@ -1,0 +1,197 @@
+package silo
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestReadYourWrites(t *testing.T) {
+	db := NewDB()
+	tbl := db.Table("t")
+	tx := db.Begin()
+	if _, err := tx.Read(tbl, 1); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("read missing = %v", err)
+	}
+	tx.Write(tbl, 1, []byte("a"))
+	v, err := tx.Read(tbl, 1)
+	if err != nil || string(v) != "a" {
+		t.Fatalf("read own write = %q, %v", v, err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Visible to later transactions.
+	tx2 := db.Begin()
+	v, err = tx2.Read(tbl, 1)
+	if err != nil || string(v) != "a" {
+		t.Fatalf("read after commit = %q, %v", v, err)
+	}
+}
+
+func TestDeleteVisibility(t *testing.T) {
+	db := NewDB()
+	tbl := db.Table("t")
+	if err := db.Run(func(tx *Tx) error { tx.Write(tbl, 5, []byte("x")); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Run(func(tx *Tx) error { tx.Delete(tbl, 5); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	err := db.Run(func(tx *Tx) error {
+		_, err := tx.Read(tbl, 5)
+		if !errors.Is(err, ErrNotFound) {
+			t.Errorf("read deleted = %v", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A transaction whose read set changed before commit aborts.
+func TestConflictDetection(t *testing.T) {
+	db := NewDB()
+	tbl := db.Table("t")
+	db.Run(func(tx *Tx) error { tx.Write(tbl, 1, []byte("v0")); return nil })
+
+	t1 := db.Begin()
+	if _, err := t1.Read(tbl, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Interleaved writer commits first.
+	db.Run(func(tx *Tx) error { tx.Write(tbl, 1, []byte("v1")); return nil })
+
+	t1.Write(tbl, 2, []byte("dep"))
+	if err := t1.Commit(); !errors.Is(err, ErrConflict) {
+		t.Fatalf("stale read committed: %v", err)
+	}
+	// The aborted transaction's write is not visible.
+	db.Run(func(tx *Tx) error {
+		if _, err := tx.Read(tbl, 2); !errors.Is(err, ErrNotFound) {
+			t.Error("aborted write leaked")
+		}
+		return nil
+	})
+}
+
+// Blind writes (no reads) never conflict.
+func TestBlindWritesCommit(t *testing.T) {
+	db := NewDB()
+	tbl := db.Table("t")
+	t1, t2 := db.Begin(), db.Begin()
+	t1.Write(tbl, 1, []byte("a"))
+	t2.Write(tbl, 1, []byte("b"))
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	db.Run(func(tx *Tx) error {
+		v, _ := tx.Read(tbl, 1)
+		if string(v) != "b" {
+			t.Errorf("last write = %q", v)
+		}
+		return nil
+	})
+}
+
+// Concurrent increments with Run (retry loop) lose no updates — the
+// classical OCC serializability check.
+func TestConcurrentIncrements(t *testing.T) {
+	db := NewDB()
+	tbl := db.Table("counter")
+	db.Run(func(tx *Tx) error { tx.Write(tbl, 0, []byte{0, 0}); return nil })
+
+	const workers, iters = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				err := db.Run(func(tx *Tx) error {
+					v, err := tx.Read(tbl, 0)
+					if err != nil {
+						return err
+					}
+					n := int(v[0]) | int(v[1])<<8
+					n++
+					tx.Write(tbl, 0, []byte{byte(n), byte(n >> 8)})
+					return nil
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	db.Run(func(tx *Tx) error {
+		v, _ := tx.Read(tbl, 0)
+		n := int(v[0]) | int(v[1])<<8
+		if n != workers*iters {
+			t.Errorf("lost updates: %d != %d", n, workers*iters)
+		}
+		return nil
+	})
+}
+
+// Property: a sequence of single-threaded committed transactions behaves
+// like a map.
+func TestSerialMatchesMap(t *testing.T) {
+	f := func(ops []uint16) bool {
+		db := NewDB()
+		tbl := db.Table("t")
+		oracle := map[uint64][]byte{}
+		for _, op := range ops {
+			key := uint64(op % 16)
+			switch (op / 16) % 3 {
+			case 0:
+				val := []byte{byte(op), byte(op >> 8)}
+				db.Run(func(tx *Tx) error { tx.Write(tbl, key, val); return nil })
+				oracle[key] = val
+			case 1:
+				var got []byte
+				var gotErr error
+				db.Run(func(tx *Tx) error { got, gotErr = tx.Read(tbl, key); return nil })
+				want, ok := oracle[key]
+				if ok != (gotErr == nil) {
+					return false
+				}
+				if ok && string(got) != string(want) {
+					return false
+				}
+			case 2:
+				db.Run(func(tx *Tx) error { tx.Delete(tbl, key); return nil })
+				delete(oracle, key)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTablesAreIndependent(t *testing.T) {
+	db := NewDB()
+	a, b := db.Table("a"), db.Table("b")
+	if a == b {
+		t.Fatal("distinct names returned same table")
+	}
+	if db.Table("a") != a {
+		t.Fatal("table identity not stable")
+	}
+	db.Run(func(tx *Tx) error { tx.Write(a, 1, []byte("x")); return nil })
+	db.Run(func(tx *Tx) error {
+		if _, err := tx.Read(b, 1); !errors.Is(err, ErrNotFound) {
+			t.Error("write leaked across tables")
+		}
+		return nil
+	})
+}

@@ -1,0 +1,32 @@
+// Package sim provides the deterministic simulation kernel used by the
+// HeMem reproduction: a virtual nanosecond clock, a seeded random number
+// generator, an event queue, latency histograms, and time-series recording.
+//
+// Everything in this package is deterministic given a seed. No wall-clock
+// time is consulted anywhere; experiments that simulate minutes of machine
+// time complete in milliseconds and always produce identical results.
+package sim
+
+// Byte-size units. All capacities in the simulator are expressed in bytes.
+const (
+	KB int64 = 1 << 10
+	MB int64 = 1 << 20
+	GB int64 = 1 << 30
+	TB int64 = 1 << 40
+)
+
+// Time units. The simulated clock counts nanoseconds.
+const (
+	Nanosecond  int64 = 1
+	Microsecond int64 = 1000 * Nanosecond
+	Millisecond int64 = 1000 * Microsecond
+	Second      int64 = 1000 * Millisecond
+)
+
+// GBps converts a rate in gigabytes per second into bytes per simulated
+// nanosecond, the internal bandwidth unit.
+func GBps(gb float64) float64 { return gb * float64(GB) / float64(Second) }
+
+// BytesPerNsToGBps converts the internal bandwidth unit back to GB/s for
+// reporting.
+func BytesPerNsToGBps(bpns float64) float64 { return bpns * float64(Second) / float64(GB) }

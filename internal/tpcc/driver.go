@@ -1,0 +1,185 @@
+package tpcc
+
+import (
+	"fmt"
+
+	"github.com/tieredmem/hemem/internal/machine"
+	"github.com/tieredmem/hemem/internal/mem"
+	"github.com/tieredmem/hemem/internal/sim"
+	"github.com/tieredmem/hemem/internal/vm"
+)
+
+// DriverConfig parameterizes the simulated Silo/TPC-C workload of §5.2.1:
+// 16 worker threads over a warehouse-scaled database whose access pattern
+// is "random with little read and write reuse".
+type DriverConfig struct {
+	// Threads is the worker count (paper: 16).
+	Threads int
+	// Warehouses scales the database; 864 warehouses is the largest
+	// count whose data fits the 192 GB DRAM.
+	Warehouses int
+	// WarehouseBytes is the in-memory footprint per warehouse, including
+	// order growth headroom (192 GB / 864 ≈ 222 MB).
+	WarehouseBytes int64
+	// ComputePerTx is the CPU time per transaction outside memory stalls
+	// (validation, logging, key packing; Silo-class engines run TPC-C in
+	// a few µs of pure compute).
+	ComputePerTx int64
+	// RowsRead/RowsWritten and RowBytes shape per-transaction traffic
+	// (NewOrder reads ~23 rows and writes ~13; Payment 3/4; weighted mix
+	// ≈ 18 reads, 9 writes; index walks add dependent hops).
+	RowsRead    int
+	RowsWritten int
+	RowBytes    int64
+	// IndexDepth is the number of dependent pointer hops per row access.
+	IndexDepth int
+	// Seed scatters the hot rows.
+	Seed uint64
+}
+
+func (c DriverConfig) withDefaults() DriverConfig {
+	if c.Threads == 0 {
+		c.Threads = 16
+	}
+	if c.WarehouseBytes == 0 {
+		c.WarehouseBytes = 222 * sim.MB
+	}
+	if c.ComputePerTx == 0 {
+		c.ComputePerTx = 4 * sim.Microsecond
+	}
+	if c.RowsRead == 0 {
+		c.RowsRead = 18
+	}
+	if c.RowsWritten == 0 {
+		c.RowsWritten = 9
+	}
+	if c.RowBytes == 0 {
+		c.RowBytes = 192
+	}
+	if c.IndexDepth == 0 {
+		c.IndexDepth = 3
+	}
+	return c
+}
+
+// Driver is the simulated TPC-C workload instance.
+type Driver struct {
+	cfg DriverConfig
+
+	dbRegion  *vm.Region
+	hotSet    *vm.PageSet // warehouse/district rows: touched every tx
+	bulkSet   *vm.PageSet
+	insertSet *vm.PageSet // order/orderline append area
+
+	comps   []machine.Component
+	txs     float64
+	lastNow int64
+	obsTxs  float64
+	obsTime int64
+}
+
+// NewDriver maps the database on m and registers the workload.
+func NewDriver(m *machine.Machine, cfg DriverConfig) *Driver {
+	cfg = cfg.withDefaults()
+	d := &Driver{cfg: cfg}
+	total := int64(cfg.Warehouses) * cfg.WarehouseBytes
+	d.dbRegion = m.AS.Map("tpcc-db", total)
+
+	pages := d.dbRegion.Pages
+	// Warehouse and district rows are ~0.5% of bytes but are touched by
+	// every transaction — the small always-hot core.
+	nHot := len(pages) / 200
+	if nHot < 1 {
+		nHot = 1
+	}
+	// Orders and order lines are appended, not revisited: give the
+	// insert stream its own tail slice (~10%).
+	nInsert := len(pages) / 10
+	if nInsert < 1 {
+		nInsert = 1
+	}
+	rng := sim.NewRand(cfg.Seed + 0x7bcc)
+	perm := rng.Perm(len(pages))
+	hot := make([]*vm.Page, 0, nHot)
+	ins := make([]*vm.Page, 0, nInsert)
+	bulk := make([]*vm.Page, 0, len(pages)-nHot-nInsert)
+	for i, idx := range perm {
+		switch {
+		case i < nHot:
+			hot = append(hot, pages[idx])
+		case i < nHot+nInsert:
+			ins = append(ins, pages[idx])
+		default:
+			bulk = append(bulk, pages[idx])
+		}
+	}
+	d.hotSet = vm.NewPageSet("tpcc-hot", hot)
+	d.insertSet = vm.NewPageSet("tpcc-insert", ins)
+	d.bulkSet = vm.NewPageSet("tpcc-bulk", bulk)
+
+	rb, wb := d.cfg.RowBytes, d.cfg.RowBytes
+	d.comps = []machine.Component{
+		// Warehouse/district header reads+updates, every transaction.
+		{Set: d.hotSet, Share: 2, ReadBytes: rb, WriteBytes: wb,
+			Pattern: mem.Random, Deps: cfg.IndexDepth},
+		// Bulk row reads (customers, stock, items): random, little reuse.
+		{Set: d.bulkSet, Share: float64(cfg.RowsRead), ReadBytes: rb,
+			Pattern: mem.Random, Deps: cfg.IndexDepth},
+		// Bulk row updates (stock, customer balances).
+		{Set: d.bulkSet, Share: float64(cfg.RowsWritten), WriteBytes: wb,
+			Pattern: mem.Random},
+		// Order/order-line inserts: appends into fresh rows.
+		{Set: d.insertSet, Share: 1, WriteBytes: 600, Pattern: mem.Sequential},
+	}
+	m.AddWorkload(d)
+	return d
+}
+
+// Name implements machine.Workload.
+func (d *Driver) Name() string { return "tpcc" }
+
+// Threads implements machine.Workload.
+func (d *Driver) Threads() int { return d.cfg.Threads }
+
+// Components implements machine.Workload.
+func (d *Driver) Components() []machine.Component { return d.comps }
+
+// ComputePerOp implements machine.Computes.
+func (d *Driver) ComputePerOp() float64 { return float64(d.cfg.ComputePerTx) }
+
+// OnOps implements machine.Workload.
+func (d *Driver) OnOps(now int64, ops float64, opTime float64) {
+	d.txs += ops
+	d.lastNow = now
+}
+
+// Done implements machine.Workload (open-ended server workload).
+func (d *Driver) Done() bool { return false }
+
+// Txs returns completed transactions.
+func (d *Driver) Txs() float64 { return d.txs }
+
+// TPS returns transactions per second since the last ResetScore.
+func (d *Driver) TPS() float64 {
+	el := float64(d.lastNow - d.obsTime)
+	if el <= 0 {
+		return 0
+	}
+	return (d.txs - d.obsTxs) / el * 1e9
+}
+
+// ResetScore restarts the measurement window.
+func (d *Driver) ResetScore() {
+	d.obsTxs = d.txs
+	d.obsTime = d.lastNow
+}
+
+// Region returns the database region.
+func (d *Driver) Region() *vm.Region { return d.dbRegion }
+
+// HotPages returns the warehouse/district page set.
+func (d *Driver) HotPages() *vm.PageSet { return d.hotSet }
+
+func (d *Driver) String() string {
+	return fmt.Sprintf("tpcc{%d wh, %d thr}", d.cfg.Warehouses, d.cfg.Threads)
+}

@@ -1,0 +1,262 @@
+// Package tpcc implements the TPC-C benchmark (revision 5.11 mix) over the
+// silo database engine, as the paper's §5.2.1 runs it: warehouses,
+// districts, customers, stock and order tables, the five-transaction mix
+// dominated by NewOrder and Payment, and the standard consistency
+// conditions used as test oracles.
+//
+// Money amounts are int64 cents. Keys are packed into uint64 with fixed
+// field widths.
+package tpcc
+
+import (
+	"encoding/binary"
+	"sync/atomic"
+
+	"github.com/tieredmem/hemem/internal/silo"
+)
+
+// Scale constants (TPC-C clause 1.2).
+const (
+	DistrictsPerWarehouse = 10
+	CustomersPerDistrict  = 3000
+	ItemCount             = 100000
+	StockPerWarehouse     = ItemCount
+	InitialOrders         = 3000
+)
+
+// Key packing: [warehouse:20][district:8][entity:36].
+func wdKey(w, d uint64) uint64       { return w<<44 | d<<36 }
+func wdeKey(w, d, e uint64) uint64   { return w<<44 | d<<36 | e }
+func wiKey(w, i uint64) uint64       { return w<<44 | i }
+func olKey(w, d, o, n uint64) uint64 { return w<<44 | d<<36 | o<<8 | n }
+func custKey(w, d, c uint64) uint64  { return wdeKey(w, d, c) }
+func orderKey(w, d, o uint64) uint64 { return wdeKey(w, d, o) }
+
+// Warehouse row.
+type Warehouse struct {
+	ID  uint64
+	YTD int64
+	Tax int64 // basis points
+}
+
+// District row.
+type District struct {
+	W, ID    uint64
+	YTD      int64
+	Tax      int64
+	NextOID  uint64
+	NextDlvO uint64 // next order to deliver
+}
+
+// Customer row.
+type Customer struct {
+	W, D, ID    uint64
+	Balance     int64
+	YTDPayment  int64
+	PaymentCnt  int64
+	DeliveryCnt int64
+	LastOrderID uint64
+	Data        [64]byte // padding representative of the 655 B row
+}
+
+// Item row.
+type Item struct {
+	ID    uint64
+	Price int64
+}
+
+// Stock row.
+type Stock struct {
+	W, I      uint64
+	Quantity  int64
+	YTD       int64
+	OrderCnt  int64
+	RemoteCnt int64
+}
+
+// Order row.
+type Order struct {
+	W, D, ID  uint64
+	C         uint64
+	OLCount   uint64
+	AllLocal  bool
+	Delivered bool
+}
+
+// OrderLine row.
+type OrderLine struct {
+	W, D, O, N uint64
+	Item       uint64
+	SupplyW    uint64
+	Quantity   int64
+	Amount     int64
+}
+
+// encode helpers: fixed-width little-endian field lists.
+
+func putU64s(vals ...uint64) []byte {
+	b := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(b[i*8:], v)
+	}
+	return b
+}
+
+func getU64(b []byte, i int) uint64 { return binary.LittleEndian.Uint64(b[i*8:]) }
+
+func boolU(v bool) uint64 {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+func (w *Warehouse) encode() []byte { return putU64s(w.ID, uint64(w.YTD), uint64(w.Tax)) }
+func decodeWarehouse(b []byte) Warehouse {
+	return Warehouse{ID: getU64(b, 0), YTD: int64(getU64(b, 1)), Tax: int64(getU64(b, 2))}
+}
+
+func (d *District) encode() []byte {
+	return putU64s(d.W, d.ID, uint64(d.YTD), uint64(d.Tax), d.NextOID, d.NextDlvO)
+}
+func decodeDistrict(b []byte) District {
+	return District{W: getU64(b, 0), ID: getU64(b, 1), YTD: int64(getU64(b, 2)),
+		Tax: int64(getU64(b, 3)), NextOID: getU64(b, 4), NextDlvO: getU64(b, 5)}
+}
+
+func (c *Customer) encode() []byte {
+	head := putU64s(c.W, c.D, c.ID, uint64(c.Balance), uint64(c.YTDPayment),
+		uint64(c.PaymentCnt), uint64(c.DeliveryCnt), c.LastOrderID)
+	return append(head, c.Data[:]...)
+}
+func decodeCustomer(b []byte) Customer {
+	c := Customer{W: getU64(b, 0), D: getU64(b, 1), ID: getU64(b, 2),
+		Balance: int64(getU64(b, 3)), YTDPayment: int64(getU64(b, 4)),
+		PaymentCnt: int64(getU64(b, 5)), DeliveryCnt: int64(getU64(b, 6)),
+		LastOrderID: getU64(b, 7)}
+	copy(c.Data[:], b[64:])
+	return c
+}
+
+func (i *Item) encode() []byte { return putU64s(i.ID, uint64(i.Price)) }
+func decodeItem(b []byte) Item {
+	return Item{ID: getU64(b, 0), Price: int64(getU64(b, 1))}
+}
+
+func (s *Stock) encode() []byte {
+	return putU64s(s.W, s.I, uint64(s.Quantity), uint64(s.YTD), uint64(s.OrderCnt), uint64(s.RemoteCnt))
+}
+func decodeStock(b []byte) Stock {
+	return Stock{W: getU64(b, 0), I: getU64(b, 1), Quantity: int64(getU64(b, 2)),
+		YTD: int64(getU64(b, 3)), OrderCnt: int64(getU64(b, 4)), RemoteCnt: int64(getU64(b, 5))}
+}
+
+func (o *Order) encode() []byte {
+	return putU64s(o.W, o.D, o.ID, o.C, o.OLCount, boolU(o.AllLocal), boolU(o.Delivered))
+}
+func decodeOrder(b []byte) Order {
+	return Order{W: getU64(b, 0), D: getU64(b, 1), ID: getU64(b, 2), C: getU64(b, 3),
+		OLCount: getU64(b, 4), AllLocal: getU64(b, 5) == 1, Delivered: getU64(b, 6) == 1}
+}
+
+func (l *OrderLine) encode() []byte {
+	return putU64s(l.W, l.D, l.O, l.N, l.Item, l.SupplyW, uint64(l.Quantity), uint64(l.Amount))
+}
+func decodeOrderLine(b []byte) OrderLine {
+	return OrderLine{W: getU64(b, 0), D: getU64(b, 1), O: getU64(b, 2), N: getU64(b, 3),
+		Item: getU64(b, 4), SupplyW: getU64(b, 5), Quantity: int64(getU64(b, 6)), Amount: int64(getU64(b, 7))}
+}
+
+// Env binds the TPC-C tables of one database.
+type Env struct {
+	DB         *silo.DB
+	Warehouses uint64
+
+	warehouse *silo.Table
+	district  *silo.Table
+	customer  *silo.Table
+	item      *silo.Table
+	stock     *silo.Table
+	order     *silo.Table
+	orderLine *silo.Table
+	newOrder  *silo.Table
+	history   *silo.Table
+
+	histSeq atomic.Uint64
+}
+
+// NewEnv creates and populates a TPC-C database with the given number of
+// warehouses (clause 4.3 population, deterministically seeded).
+func NewEnv(db *silo.DB, warehouses uint64) *Env {
+	e := &Env{
+		DB: db, Warehouses: warehouses,
+		warehouse: db.Table("warehouse"),
+		district:  db.Table("district"),
+		customer:  db.Table("customer"),
+		item:      db.Table("item"),
+		stock:     db.Table("stock"),
+		order:     db.Table("order"),
+		orderLine: db.Table("orderline"),
+		newOrder:  db.Table("neworder"),
+		history:   db.Table("history"),
+	}
+	e.load()
+	return e
+}
+
+// load populates items, warehouses, districts, customers, and stock. Order
+// history starts empty (the paper measures steady-state NewOrder/Payment
+// throughput; initial orders only shift key ranges). Writes are batched
+// into large transactions for loading speed.
+func (e *Env) load() {
+	b := newBatcher(e.DB)
+	for i := uint64(1); i <= ItemCount; i++ {
+		it := Item{ID: i, Price: int64(100 + (i*37)%9900)}
+		b.put(e.item, i, it.encode())
+	}
+	for w := uint64(1); w <= e.Warehouses; w++ {
+		wh := Warehouse{ID: w, Tax: int64((w * 13) % 2000)}
+		b.put(e.warehouse, w, wh.encode())
+		for i := uint64(1); i <= StockPerWarehouse; i++ {
+			st := Stock{W: w, I: i, Quantity: 50 + int64((i*w)%50)}
+			b.put(e.stock, wiKey(w, i), st.encode())
+		}
+		for d := uint64(1); d <= DistrictsPerWarehouse; d++ {
+			dist := District{W: w, ID: d, Tax: int64((d * 17) % 2000), NextOID: 1, NextDlvO: 1}
+			b.put(e.district, wdKey(w, d), dist.encode())
+			for c := uint64(1); c <= CustomersPerDistrict; c++ {
+				cust := Customer{W: w, D: d, ID: c, Balance: -1000}
+				b.put(e.customer, custKey(w, d, c), cust.encode())
+			}
+		}
+	}
+	b.flush()
+}
+
+// batcher groups loader writes into large transactions.
+type batcher struct {
+	db *silo.DB
+	tx *silo.Tx
+	n  int
+}
+
+func newBatcher(db *silo.DB) *batcher { return &batcher{db: db, tx: db.Begin()} }
+
+func (b *batcher) put(t *silo.Table, key uint64, val []byte) {
+	b.tx.Write(t, key, val)
+	b.n++
+	if b.n >= 10000 {
+		b.flush()
+	}
+}
+
+func (b *batcher) flush() {
+	if b.n == 0 {
+		return
+	}
+	if err := b.tx.Commit(); err != nil {
+		panic("tpcc: load failed: " + err.Error())
+	}
+	b.tx = b.db.Begin()
+	b.n = 0
+}

@@ -1,0 +1,254 @@
+package tpcc
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"github.com/tieredmem/hemem/internal/silo"
+)
+
+func newEnv(t *testing.T, warehouses uint64) *Env {
+	t.Helper()
+	return NewEnv(silo.NewDB(), warehouses)
+}
+
+// readDistrict fetches a district row outside any workload transaction.
+func (e *Env) readDistrict(t *testing.T, w, d uint64) District {
+	t.Helper()
+	var out District
+	err := e.DB.Run(func(tx *silo.Tx) error {
+		b, err := tx.Read(e.district, wdKey(w, d))
+		if err != nil {
+			return err
+		}
+		out = decodeDistrict(b)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// checkConsistency verifies the TPC-C consistency conditions the spec
+// defines (clause 3.3.2): W_YTD = Σ D_YTD; for each district,
+// D_NEXT_O_ID − 1 equals the maximum order id; every order has exactly
+// O_OL_CNT order lines.
+func checkConsistency(t *testing.T, e *Env) {
+	t.Helper()
+	err := e.DB.Run(func(tx *silo.Tx) error {
+		for w := uint64(1); w <= e.Warehouses; w++ {
+			wb, err := tx.Read(e.warehouse, w)
+			if err != nil {
+				return err
+			}
+			wh := decodeWarehouse(wb)
+			var sum int64
+			for d := uint64(1); d <= DistrictsPerWarehouse; d++ {
+				db, err := tx.Read(e.district, wdKey(w, d))
+				if err != nil {
+					return err
+				}
+				dist := decodeDistrict(db)
+				sum += dist.YTD
+
+				// Orders 1..NextOID-1 exist with matching lines;
+				// NextOID itself does not.
+				for o := uint64(1); o < dist.NextOID; o++ {
+					ob, err := tx.Read(e.order, orderKey(w, d, o))
+					if err != nil {
+						t.Errorf("w%v d%v: order %d missing", w, d, o)
+						continue
+					}
+					ord := decodeOrder(ob)
+					for n := uint64(1); n <= ord.OLCount; n++ {
+						if _, err := tx.Read(e.orderLine, olKey(w, d, o, n)); err != nil {
+							t.Errorf("w%v d%v o%v: line %d missing", w, d, o, n)
+						}
+					}
+					if _, err := tx.Read(e.orderLine, olKey(w, d, o, ord.OLCount+1)); err == nil {
+						t.Errorf("w%v d%v o%v: surplus order line", w, d, o)
+					}
+				}
+				if _, err := tx.Read(e.order, orderKey(w, d, dist.NextOID)); err == nil {
+					t.Errorf("w%v d%v: order at NextOID already exists", w, d)
+				}
+				// Undelivered orders are exactly those in [NextDlvO, NextOID).
+				for o := uint64(1); o < dist.NextDlvO; o++ {
+					if _, err := tx.Read(e.newOrder, orderKey(w, d, o)); err == nil {
+						t.Errorf("w%v d%v: delivered order %d still in neworder", w, d, o)
+					}
+				}
+				for o := dist.NextDlvO; o < dist.NextOID; o++ {
+					if _, err := tx.Read(e.newOrder, orderKey(w, d, o)); err != nil {
+						t.Errorf("w%v d%v: undelivered order %d missing from neworder", w, d, o)
+					}
+				}
+			}
+			if wh.YTD != sum {
+				t.Errorf("w%v: W_YTD %d != Σ D_YTD %d", w, wh.YTD, sum)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewOrderBasics(t *testing.T) {
+	e := newEnv(t, 1)
+	g := NewRand(1)
+	before := e.readDistrict(t, 1, 1)
+	for i := 0; i < 50; i++ {
+		if err := e.NewOrder(g, 1); err != nil && !errors.Is(err, ErrInvalidItem) {
+			t.Fatal(err)
+		}
+	}
+	// Some district's NextOID advanced.
+	var advanced bool
+	for d := uint64(1); d <= DistrictsPerWarehouse; d++ {
+		if e.readDistrict(t, 1, d).NextOID > 1 {
+			advanced = true
+		}
+	}
+	if !advanced {
+		t.Fatal("no orders created")
+	}
+	_ = before
+	checkConsistency(t, e)
+}
+
+func TestPaymentUpdatesYTD(t *testing.T) {
+	e := newEnv(t, 1)
+	g := NewRand(2)
+	for i := 0; i < 100; i++ {
+		if err := e.Payment(g, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	checkConsistency(t, e)
+	// Warehouse YTD grew.
+	err := e.DB.Run(func(tx *silo.Tx) error {
+		wb, _ := tx.Read(e.warehouse, uint64(1))
+		if decodeWarehouse(wb).YTD <= 0 {
+			t.Error("warehouse YTD did not grow")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFullMixConsistency(t *testing.T) {
+	e := newEnv(t, 2)
+	g := NewRand(3)
+	counts := map[TxKind]int{}
+	for i := 0; i < 2000; i++ {
+		w := g.uniform(1, 2)
+		k, err := e.RunMix(g, w)
+		if err != nil {
+			t.Fatalf("tx %d kind %v: %v", i, k, err)
+		}
+		counts[k]++
+	}
+	// The mix is roughly 45/43/4/4/4.
+	if counts[TxNewOrder] < 700 || counts[TxPayment] < 700 {
+		t.Errorf("mix off: %v", counts)
+	}
+	for _, k := range []TxKind{TxOrderStatus, TxDelivery, TxStockLevel} {
+		if counts[k] == 0 {
+			t.Errorf("kind %v never ran", k)
+		}
+	}
+	checkConsistency(t, e)
+}
+
+// Concurrent workers preserve the consistency conditions (OCC validation).
+func TestConcurrentMixConsistency(t *testing.T) {
+	e := newEnv(t, 2)
+	var wg sync.WaitGroup
+	for worker := 0; worker < 8; worker++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			g := NewRand(uint64(100 + id))
+			for i := 0; i < 300; i++ {
+				w := g.uniform(1, 2)
+				if _, err := e.RunMix(g, w); err != nil {
+					t.Errorf("worker %d: %v", id, err)
+					return
+				}
+			}
+		}(worker)
+	}
+	wg.Wait()
+	checkConsistency(t, e)
+}
+
+func TestNewOrderRollbackLeavesNoTrace(t *testing.T) {
+	e := newEnv(t, 1)
+	// Directly exercise the invalid-item path many times; consistency
+	// must hold (no partial writes).
+	g := NewRand(7)
+	rollbacks := 0
+	for i := 0; i < 500; i++ {
+		if err := e.NewOrder(g, 1); errors.Is(err, ErrInvalidItem) {
+			rollbacks++
+		}
+	}
+	if rollbacks == 0 {
+		t.Error("1% rollback path never exercised in 500 orders")
+	}
+	checkConsistency(t, e)
+}
+
+func TestDeliveryDrainsNewOrders(t *testing.T) {
+	e := newEnv(t, 1)
+	g := NewRand(9)
+	for i := 0; i < 30; i++ {
+		if err := e.NewOrder(g, 1); err != nil && !errors.Is(err, ErrInvalidItem) {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 40; i++ {
+		if err := e.Delivery(g, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Everything delivered.
+	for d := uint64(1); d <= DistrictsPerWarehouse; d++ {
+		dist := e.readDistrict(t, 1, d)
+		if dist.NextDlvO != dist.NextOID {
+			t.Errorf("district %d: undelivered orders remain (%d < %d)", d, dist.NextDlvO, dist.NextOID)
+		}
+	}
+	checkConsistency(t, e)
+}
+
+func TestStockLevelRuns(t *testing.T) {
+	e := newEnv(t, 1)
+	g := NewRand(11)
+	for i := 0; i < 20; i++ {
+		if err := e.NewOrder(g, 1); err != nil && !errors.Is(err, ErrInvalidItem) {
+			t.Fatal(err)
+		}
+	}
+	if _, err := e.StockLevel(g, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNURandRanges(t *testing.T) {
+	g := NewRand(13)
+	for i := 0; i < 10000; i++ {
+		if c := g.CustomerID(); c < 1 || c > CustomersPerDistrict {
+			t.Fatalf("CustomerID out of range: %d", c)
+		}
+		if it := g.ItemID(); it < 1 || it > ItemCount {
+			t.Fatalf("ItemID out of range: %d", it)
+		}
+	}
+}

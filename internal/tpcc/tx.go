@@ -1,0 +1,355 @@
+package tpcc
+
+import (
+	"errors"
+
+	"github.com/tieredmem/hemem/internal/silo"
+	"github.com/tieredmem/hemem/internal/sim"
+)
+
+// Rand is the TPC-C input generator (clause 2.1.6), seeded per worker.
+type Rand struct {
+	r *sim.Rand
+	c uint64 // NURand constant
+}
+
+// NewRand returns a generator.
+func NewRand(seed uint64) *Rand {
+	return &Rand{r: sim.NewRand(seed), c: 123}
+}
+
+// uniform returns a value in [lo, hi].
+func (g *Rand) uniform(lo, hi uint64) uint64 {
+	return lo + g.r.Uint64()%(hi-lo+1)
+}
+
+// nuRand is the non-uniform random function NURand(A, x, y).
+func (g *Rand) nuRand(a, x, y uint64) uint64 {
+	return ((g.uniform(0, a)|g.uniform(x, y))+g.c)%(y-x+1) + x
+}
+
+// CustomerID draws a customer id (NURand(1023, 1, 3000)).
+func (g *Rand) CustomerID() uint64 { return g.nuRand(1023, 1, CustomersPerDistrict) }
+
+// ItemID draws an item id (NURand(8191, 1, 100000)).
+func (g *Rand) ItemID() uint64 { return g.nuRand(8191, 1, ItemCount) }
+
+// TxKind enumerates the TPC-C mix.
+type TxKind int
+
+// The standard mix (clause 5.2.3 minimums).
+const (
+	TxNewOrder TxKind = iota
+	TxPayment
+	TxOrderStatus
+	TxDelivery
+	TxStockLevel
+)
+
+// NextKind draws a transaction type with the standard 45/43/4/4/4 mix.
+func (g *Rand) NextKind() TxKind {
+	switch v := g.uniform(1, 100); {
+	case v <= 45:
+		return TxNewOrder
+	case v <= 88:
+		return TxPayment
+	case v <= 92:
+		return TxOrderStatus
+	case v <= 96:
+		return TxDelivery
+	default:
+		return TxStockLevel
+	}
+}
+
+// ErrInvalidItem is the intentional 1% NewOrder rollback (clause 2.4.1.4's
+// unused item number).
+var ErrInvalidItem = errors.New("tpcc: invalid item, rollback")
+
+// NewOrder runs the new-order transaction for home warehouse w.
+func (e *Env) NewOrder(g *Rand, w uint64) error {
+	d := g.uniform(1, DistrictsPerWarehouse)
+	c := g.CustomerID()
+	nItems := g.uniform(5, 15)
+	type line struct {
+		item, supply uint64
+		qty          int64
+	}
+	lines := make([]line, nItems)
+	for i := range lines {
+		supply := w
+		if e.Warehouses > 1 && g.uniform(1, 100) == 1 {
+			for supply == w {
+				supply = g.uniform(1, e.Warehouses)
+			}
+		}
+		lines[i] = line{item: g.ItemID(), supply: supply, qty: int64(g.uniform(1, 10))}
+	}
+	// Clause 2.4.1.5: 1% of NewOrders use an unused item number and roll
+	// back intentionally.
+	if g.uniform(1, 100) == 1 {
+		lines[len(lines)-1].item = ItemCount + 1
+	}
+
+	return e.DB.Run(func(tx *silo.Tx) error {
+		wb, err := tx.Read(e.warehouse, w)
+		if err != nil {
+			return err
+		}
+		wh := decodeWarehouse(wb)
+
+		db, err := tx.Read(e.district, wdKey(w, d))
+		if err != nil {
+			return err
+		}
+		dist := decodeDistrict(db)
+		oid := dist.NextOID
+		dist.NextOID++
+		tx.Write(e.district, wdKey(w, d), dist.encode())
+
+		cb, err := tx.Read(e.customer, custKey(w, d, c))
+		if err != nil {
+			return err
+		}
+		cust := decodeCustomer(cb)
+		cust.LastOrderID = oid
+		tx.Write(e.customer, custKey(w, d, c), cust.encode())
+
+		allLocal := true
+		var total int64
+		for i, ln := range lines {
+			ib, err := tx.Read(e.item, ln.item)
+			if err != nil {
+				return ErrInvalidItem
+			}
+			item := decodeItem(ib)
+
+			sb, err := tx.Read(e.stock, wiKey(ln.supply, ln.item))
+			if err != nil {
+				return err
+			}
+			st := decodeStock(sb)
+			if st.Quantity >= ln.qty+10 {
+				st.Quantity -= ln.qty
+			} else {
+				st.Quantity += 91 - ln.qty
+			}
+			st.YTD += ln.qty
+			st.OrderCnt++
+			if ln.supply != w {
+				st.RemoteCnt++
+				allLocal = false
+			}
+			tx.Write(e.stock, wiKey(ln.supply, ln.item), st.encode())
+
+			amount := ln.qty * item.Price
+			total += amount
+			ol := OrderLine{W: w, D: d, O: oid, N: uint64(i + 1),
+				Item: ln.item, SupplyW: ln.supply, Quantity: ln.qty, Amount: amount}
+			tx.Write(e.orderLine, olKey(w, d, oid, uint64(i+1)), ol.encode())
+		}
+		total = total * (10000 + wh.Tax + dist.Tax) / 10000
+
+		ord := Order{W: w, D: d, ID: oid, C: c, OLCount: nItems, AllLocal: allLocal}
+		tx.Write(e.order, orderKey(w, d, oid), ord.encode())
+		tx.Write(e.newOrder, orderKey(w, d, oid), putU64s(oid))
+		return nil
+	})
+}
+
+// Payment runs the payment transaction for home warehouse w. 15% of
+// payments are for a customer of a remote warehouse.
+func (e *Env) Payment(g *Rand, w uint64) error {
+	d := g.uniform(1, DistrictsPerWarehouse)
+	cw, cd := w, d
+	if e.Warehouses > 1 && g.uniform(1, 100) <= 15 {
+		for cw == w {
+			cw = g.uniform(1, e.Warehouses)
+		}
+		cd = g.uniform(1, DistrictsPerWarehouse)
+	}
+	c := g.CustomerID()
+	amount := int64(g.uniform(100, 500000))
+
+	return e.DB.Run(func(tx *silo.Tx) error {
+		wb, err := tx.Read(e.warehouse, w)
+		if err != nil {
+			return err
+		}
+		wh := decodeWarehouse(wb)
+		wh.YTD += amount
+		tx.Write(e.warehouse, w, wh.encode())
+
+		db, err := tx.Read(e.district, wdKey(w, d))
+		if err != nil {
+			return err
+		}
+		dist := decodeDistrict(db)
+		dist.YTD += amount
+		tx.Write(e.district, wdKey(w, d), dist.encode())
+
+		cb, err := tx.Read(e.customer, custKey(cw, cd, c))
+		if err != nil {
+			return err
+		}
+		cust := decodeCustomer(cb)
+		cust.Balance -= amount
+		cust.YTDPayment += amount
+		cust.PaymentCnt++
+		tx.Write(e.customer, custKey(cw, cd, c), cust.encode())
+
+		tx.Write(e.history, e.histSeq.Add(1), putU64s(w, d, cw, cd, c, uint64(amount)))
+		return nil
+	})
+}
+
+// OrderStatus reads a customer's most recent order and its lines.
+func (e *Env) OrderStatus(g *Rand, w uint64) error {
+	d := g.uniform(1, DistrictsPerWarehouse)
+	c := g.CustomerID()
+	return e.DB.Run(func(tx *silo.Tx) error {
+		cb, err := tx.Read(e.customer, custKey(w, d, c))
+		if err != nil {
+			return err
+		}
+		cust := decodeCustomer(cb)
+		if cust.LastOrderID == 0 {
+			return nil // no orders yet
+		}
+		ob, err := tx.Read(e.order, orderKey(w, d, cust.LastOrderID))
+		if err != nil {
+			return nil // order may belong to a different district draw
+		}
+		ord := decodeOrder(ob)
+		for n := uint64(1); n <= ord.OLCount; n++ {
+			if _, err := tx.Read(e.orderLine, olKey(w, d, ord.ID, n)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// Delivery delivers the oldest undelivered order of each district,
+// crediting the customer with the order total.
+func (e *Env) Delivery(g *Rand, w uint64) error {
+	for d := uint64(1); d <= DistrictsPerWarehouse; d++ {
+		err := e.DB.Run(func(tx *silo.Tx) error {
+			db, err := tx.Read(e.district, wdKey(w, d))
+			if err != nil {
+				return err
+			}
+			dist := decodeDistrict(db)
+			if dist.NextDlvO >= dist.NextOID {
+				return nil // nothing to deliver
+			}
+			oid := dist.NextDlvO
+			if _, err := tx.Read(e.newOrder, orderKey(w, d, oid)); err != nil {
+				return err
+			}
+			tx.Delete(e.newOrder, orderKey(w, d, oid))
+			dist.NextDlvO++
+			tx.Write(e.district, wdKey(w, d), dist.encode())
+
+			ob, err := tx.Read(e.order, orderKey(w, d, oid))
+			if err != nil {
+				return err
+			}
+			ord := decodeOrder(ob)
+			ord.Delivered = true
+			tx.Write(e.order, orderKey(w, d, oid), ord.encode())
+
+			var total int64
+			for n := uint64(1); n <= ord.OLCount; n++ {
+				lb, err := tx.Read(e.orderLine, olKey(w, d, oid, n))
+				if err != nil {
+					return err
+				}
+				total += decodeOrderLine(lb).Amount
+			}
+			cb, err := tx.Read(e.customer, custKey(w, d, ord.C))
+			if err != nil {
+				return err
+			}
+			cust := decodeCustomer(cb)
+			cust.Balance += total
+			cust.DeliveryCnt++
+			tx.Write(e.customer, custKey(w, d, ord.C), cust.encode())
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StockLevel counts recently ordered items with stock below a threshold.
+func (e *Env) StockLevel(g *Rand, w uint64) (int, error) {
+	d := g.uniform(1, DistrictsPerWarehouse)
+	threshold := int64(g.uniform(10, 20))
+	low := 0
+	err := e.DB.Run(func(tx *silo.Tx) error {
+		low = 0
+		db, err := tx.Read(e.district, wdKey(w, d))
+		if err != nil {
+			return err
+		}
+		dist := decodeDistrict(db)
+		start := uint64(1)
+		if dist.NextOID > 20 {
+			start = dist.NextOID - 20
+		}
+		seen := map[uint64]bool{}
+		for o := start; o < dist.NextOID; o++ {
+			ob, err := tx.Read(e.order, orderKey(w, d, o))
+			if err != nil {
+				continue
+			}
+			ord := decodeOrder(ob)
+			for n := uint64(1); n <= ord.OLCount; n++ {
+				lb, err := tx.Read(e.orderLine, olKey(w, d, o, n))
+				if err != nil {
+					continue
+				}
+				ol := decodeOrderLine(lb)
+				if seen[ol.Item] {
+					continue
+				}
+				seen[ol.Item] = true
+				sb, err := tx.Read(e.stock, wiKey(w, ol.Item))
+				if err != nil {
+					continue
+				}
+				if decodeStock(sb).Quantity < threshold {
+					low++
+				}
+			}
+		}
+		return nil
+	})
+	return low, err
+}
+
+// RunMix executes one transaction of the standard mix against home
+// warehouse w, returning its kind. The 1% intentional NewOrder rollback is
+// treated as a completed (aborted) transaction per the spec.
+func (e *Env) RunMix(g *Rand, w uint64) (TxKind, error) {
+	k := g.NextKind()
+	var err error
+	switch k {
+	case TxNewOrder:
+		if err = e.NewOrder(g, w); errors.Is(err, ErrInvalidItem) {
+			err = nil
+		}
+	case TxPayment:
+		err = e.Payment(g, w)
+	case TxOrderStatus:
+		err = e.OrderStatus(g, w)
+	case TxDelivery:
+		err = e.Delivery(g, w)
+	case TxStockLevel:
+		_, err = e.StockLevel(g, w)
+	}
+	return k, err
+}

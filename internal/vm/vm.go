@@ -1,0 +1,319 @@
+// Package vm is the virtual-memory substrate of the simulator: virtual
+// address regions, per-page metadata (tier placement, accessed/dirty bits,
+// migration and write-protect state), page sets for describing workload
+// traffic, a page-table scan-time model calibrated to the paper's Figure 3,
+// and a TLB-shootdown cost model.
+//
+// The real HeMem registers anonymous mmap ranges with userfaultfd and backs
+// them with DAX files; here a Region plays the role of such a managed
+// range, and tier managers receive fault-like callbacks when pages are
+// first touched.
+package vm
+
+import (
+	"fmt"
+
+	"github.com/tieredmem/hemem/internal/sim"
+)
+
+// Tier identifies where a page currently resides.
+type Tier int8
+
+const (
+	TierNone Tier = iota // not yet backed (never touched)
+	TierDRAM
+	TierNVM
+	// TierDisk is the optional slowest tier: pages swapped out to a
+	// block device (§3.4's "Swapping" discussion).
+	TierDisk
+	tierCount
+)
+
+func (t Tier) String() string {
+	switch t {
+	case TierDRAM:
+		return "DRAM"
+	case TierNVM:
+		return "NVM"
+	case TierDisk:
+		return "disk"
+	default:
+		return "none"
+	}
+}
+
+// PageID is a global page index within an AddressSpace.
+type PageID int32
+
+// Page is the metadata for one virtual page. HeMem's prototype tracks at
+// huge-page (2 MB) granularity; the page size is a property of the
+// AddressSpace.
+type Page struct {
+	ID     PageID
+	Region *Region
+	Index  int // index within Region.Pages
+
+	Tier Tier
+
+	// Accessed and Dirty model the page-table bits that scanning-based
+	// managers (Nimble, HeMem-PT) consume. The machine sets them
+	// statistically from traffic rates; scanners read and clear them.
+	Accessed bool
+	Dirty    bool
+
+	// Migrating marks a page whose contents are being copied between
+	// tiers; writes to it stall (userfaultfd write-protection, §3.2).
+	Migrating bool
+
+	sets []*PageSet
+}
+
+// InSets returns the page sets this page belongs to.
+func (p *Page) InSets() []*PageSet { return p.sets }
+
+// SetTier moves the page to tier t, maintaining the occupancy counters of
+// its region and of every page set that contains it.
+func (p *Page) SetTier(t Tier) {
+	if p.Tier == t {
+		return
+	}
+	p.Region.counts[p.Tier]--
+	p.Region.counts[t]++
+	for _, s := range p.sets {
+		s.counts[p.Tier]--
+		s.counts[t]++
+	}
+	p.Tier = t
+}
+
+// Region is a contiguous virtual address range created by an (intercepted)
+// mmap call. Pages are allocated lazily by tier managers on first touch.
+type Region struct {
+	Name     string
+	Start    int64
+	PageSize int64
+	Pages    []*Page
+
+	counts [tierCount]int
+}
+
+// Size returns the region length in bytes.
+func (r *Region) Size() int64 { return int64(len(r.Pages)) * r.PageSize }
+
+// Count returns how many of the region's pages are in tier t.
+func (r *Region) Count(t Tier) int { return r.counts[t] }
+
+// Frac returns the fraction of the region's pages in tier t.
+func (r *Region) Frac(t Tier) float64 {
+	if len(r.Pages) == 0 {
+		return 0
+	}
+	return float64(r.counts[t]) / float64(len(r.Pages))
+}
+
+// Bytes returns the bytes of the region resident in tier t.
+func (r *Region) Bytes(t Tier) int64 { return int64(r.counts[t]) * r.PageSize }
+
+// AsSet returns a PageSet covering the whole region.
+func (r *Region) AsSet() *PageSet {
+	return NewPageSet(r.Name, r.Pages)
+}
+
+func (r *Region) String() string {
+	return fmt.Sprintf("%s[%d pages × %d]", r.Name, len(r.Pages), r.PageSize)
+}
+
+// PageSet is an arbitrary (possibly non-contiguous) set of pages used to
+// describe workload traffic: e.g., GUPS' 16 GB hot set scattered through a
+// 512 GB working set. Sets maintain per-tier occupancy so the machine can
+// split a traffic component across devices in O(1).
+type PageSet struct {
+	Name   string
+	pages  []*Page
+	counts [tierCount]int
+}
+
+// NewPageSet builds a set over the given pages and registers the
+// membership on each page.
+func NewPageSet(name string, pages []*Page) *PageSet {
+	s := &PageSet{Name: name, pages: make([]*Page, 0, len(pages))}
+	for _, p := range pages {
+		s.Add(p)
+	}
+	return s
+}
+
+// Add inserts page p into the set.
+func (s *PageSet) Add(p *Page) {
+	s.pages = append(s.pages, p)
+	s.counts[p.Tier]++
+	p.sets = append(p.sets, s)
+}
+
+// Remove deletes the page at index i (swap-with-last; order is not
+// preserved). It unregisters the set from the page.
+func (s *PageSet) Remove(i int) *Page {
+	p := s.pages[i]
+	last := len(s.pages) - 1
+	s.pages[i] = s.pages[last]
+	s.pages[last] = nil
+	s.pages = s.pages[:last]
+	s.counts[p.Tier]--
+	for j, ps := range p.sets {
+		if ps == s {
+			p.sets[j] = p.sets[len(p.sets)-1]
+			p.sets = p.sets[:len(p.sets)-1]
+			break
+		}
+	}
+	return p
+}
+
+// Len returns the number of pages in the set.
+func (s *PageSet) Len() int { return len(s.pages) }
+
+// Page returns the i-th page.
+func (s *PageSet) Page(i int) *Page { return s.pages[i] }
+
+// Pages returns the backing slice (callers must not mutate it).
+func (s *PageSet) Pages() []*Page { return s.pages }
+
+// Count returns how many pages of the set are in tier t.
+func (s *PageSet) Count(t Tier) int { return s.counts[t] }
+
+// Frac returns the fraction of the set's pages in tier t. Pages still in
+// TierNone count toward neither.
+func (s *PageSet) Frac(t Tier) float64 {
+	if len(s.pages) == 0 {
+		return 0
+	}
+	return float64(s.counts[t]) / float64(len(s.pages))
+}
+
+// Bytes returns set bytes, assuming a uniform page size.
+func (s *PageSet) Bytes() int64 {
+	if len(s.pages) == 0 {
+		return 0
+	}
+	return int64(len(s.pages)) * s.pages[0].Region.PageSize
+}
+
+// AddressSpace owns all regions and pages of one simulated process.
+type AddressSpace struct {
+	PageSize int64
+	Regions  []*Region
+
+	pages  []*Page
+	nextVA int64
+}
+
+// NewAddressSpace creates an empty address space with the given page size
+// (HeMem's prototype uses 2 MB huge pages).
+func NewAddressSpace(pageSize int64) *AddressSpace {
+	if pageSize <= 0 {
+		panic("vm: page size must be positive")
+	}
+	return &AddressSpace{PageSize: pageSize, nextVA: 1 << 40}
+}
+
+// Map creates a region of the given size (rounded up to whole pages),
+// modelling an intercepted mmap of anonymous memory. All pages start in
+// TierNone; the active tier manager places them on first touch.
+func (a *AddressSpace) Map(name string, size int64) *Region {
+	n := int((size + a.PageSize - 1) / a.PageSize)
+	r := &Region{Name: name, Start: a.nextVA, PageSize: a.PageSize}
+	r.Pages = make([]*Page, n)
+	base := PageID(len(a.pages))
+	for i := 0; i < n; i++ {
+		p := &Page{ID: base + PageID(i), Region: r, Index: i, Tier: TierNone}
+		r.Pages[i] = p
+		a.pages = append(a.pages, p)
+	}
+	r.counts[TierNone] = n
+	a.nextVA += int64(n) * a.PageSize
+	a.Regions = append(a.Regions, r)
+	return r
+}
+
+// Page returns the page with the given global ID.
+func (a *AddressSpace) Page(id PageID) *Page { return a.pages[id] }
+
+// NumPages returns the total number of pages mapped.
+func (a *AddressSpace) NumPages() int { return len(a.pages) }
+
+// TotalBytes returns the bytes mapped across all regions.
+func (a *AddressSpace) TotalBytes() int64 { return int64(len(a.pages)) * a.PageSize }
+
+// ScanModel is the cost model for page-table access/dirty-bit scanning and
+// the TLB shootdowns required when clearing bits (§2.3, Figure 3).
+type ScanModel struct {
+	// PTECost4K/2M/1G is the per-entry visit cost in ns. Smaller pages
+	// mean more entries and a deeper table, so the per-entry cost rises
+	// slightly while the entry count explodes.
+	PTECost4K int64
+	PTECost2M int64
+	PTECost1G int64
+
+	// ShootdownBatch is how many cleared entries share one TLB shootdown
+	// (Linux batches invalidations); IPIStall is the per-shootdown stall
+	// charged to every running thread.
+	ShootdownBatch int
+	IPIStall       int64
+}
+
+// DefaultScanModel returns the calibrated model: scanning 1 TB of 4 KB
+// pages takes seconds (Figure 3), and clearing bits costs app threads
+// roughly 15–20% of throughput when scans run back to back (Figure 8's "PT
+// Scan" bar).
+func DefaultScanModel() ScanModel {
+	return ScanModel{
+		PTECost4K:      12,
+		PTECost2M:      11,
+		PTECost1G:      10,
+		ShootdownBatch: 2048,
+		IPIStall:       4 * sim.Microsecond,
+	}
+}
+
+// perPTE returns the per-entry cost for the given page size.
+func (m ScanModel) perPTE(pageSize int64) int64 {
+	switch {
+	case pageSize >= sim.GB:
+		return m.PTECost1G
+	case pageSize >= 2*sim.MB:
+		return m.PTECost2M
+	default:
+		return m.PTECost4K
+	}
+}
+
+// ScanTime returns how long one full scan pass over capacity bytes of
+// memory mapped at pageSize takes (Figure 3).
+func (m ScanModel) ScanTime(capacity int64, pageSize int64) int64 {
+	entries := capacity / pageSize
+	if capacity%pageSize != 0 {
+		entries++
+	}
+	return entries * m.perPTE(pageSize)
+}
+
+// ShootdownStall returns the stall in ns charged to each running thread
+// when a scan pass visits and clears entriesScanned page-table entries.
+// The kernel batches invalidations at a fixed entry interval as it scans,
+// so the stall is proportional to the scanned range: with the default
+// parameters it costs application threads ~16% of the scan duration — the
+// overhead the paper's Figure 8 "PT Scan" bar measures at 18%.
+func (m ScanModel) ShootdownStall(entriesScanned int) int64 {
+	if entriesScanned <= 0 {
+		return 0
+	}
+	shootdowns := (entriesScanned + m.ShootdownBatch - 1) / m.ShootdownBatch
+	return int64(shootdowns) * m.IPIStall
+}
+
+// FaultCost is the modelled cost of one userfaultfd page-missing fault:
+// kernel forwarding to the handler thread, zero-page mapping, and waking
+// the faulting thread. The paper measures this overhead as negligible for
+// its applications (one fault per page, ever); it matters only during
+// warm-up.
+const FaultCost = 4 * sim.Microsecond

@@ -1,0 +1,194 @@
+package vm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/tieredmem/hemem/internal/sim"
+)
+
+func TestMapCreatesPages(t *testing.T) {
+	a := NewAddressSpace(2 * sim.MB)
+	r := a.Map("heap", 10*sim.MB)
+	if len(r.Pages) != 5 {
+		t.Fatalf("pages = %d, want 5", len(r.Pages))
+	}
+	if r.Size() != 10*sim.MB {
+		t.Fatalf("size = %d", r.Size())
+	}
+	if r.Count(TierNone) != 5 {
+		t.Fatalf("new pages should be TierNone, got %d", r.Count(TierNone))
+	}
+	// Rounds up partial pages.
+	r2 := a.Map("odd", 3*sim.MB)
+	if len(r2.Pages) != 2 {
+		t.Fatalf("odd-sized region pages = %d, want 2", len(r2.Pages))
+	}
+	if a.NumPages() != 7 {
+		t.Fatalf("NumPages = %d, want 7", a.NumPages())
+	}
+	// Global IDs resolve.
+	for _, p := range r2.Pages {
+		if a.Page(p.ID) != p {
+			t.Fatal("Page(ID) mismatch")
+		}
+	}
+	// Regions do not overlap.
+	if r2.Start < r.Start+r.Size() {
+		t.Fatal("regions overlap")
+	}
+}
+
+func TestSetTierMaintainsCounts(t *testing.T) {
+	a := NewAddressSpace(2 * sim.MB)
+	r := a.Map("heap", 20*sim.MB)
+	hot := NewPageSet("hot", r.Pages[:4])
+
+	r.Pages[0].SetTier(TierDRAM)
+	r.Pages[1].SetTier(TierNVM)
+	r.Pages[5].SetTier(TierNVM)
+
+	if r.Count(TierDRAM) != 1 || r.Count(TierNVM) != 2 || r.Count(TierNone) != 7 {
+		t.Fatalf("region counts = %d/%d/%d", r.Count(TierDRAM), r.Count(TierNVM), r.Count(TierNone))
+	}
+	if hot.Count(TierDRAM) != 1 || hot.Count(TierNVM) != 1 {
+		t.Fatalf("set counts = %d/%d", hot.Count(TierDRAM), hot.Count(TierNVM))
+	}
+	// Idempotent.
+	r.Pages[0].SetTier(TierDRAM)
+	if r.Count(TierDRAM) != 1 {
+		t.Fatal("SetTier not idempotent")
+	}
+	// Move between tiers.
+	r.Pages[0].SetTier(TierNVM)
+	if r.Count(TierDRAM) != 0 || r.Count(TierNVM) != 3 {
+		t.Fatal("tier move miscounted")
+	}
+	if hot.Frac(TierNVM) != 0.5 {
+		t.Fatalf("hot NVM frac = %v, want 0.5", hot.Frac(TierNVM))
+	}
+}
+
+func TestPageSetAddRemove(t *testing.T) {
+	a := NewAddressSpace(2 * sim.MB)
+	r := a.Map("heap", 8*sim.MB)
+	for _, p := range r.Pages {
+		p.SetTier(TierDRAM)
+	}
+	s := NewPageSet("s", r.Pages)
+	if s.Len() != 4 || s.Count(TierDRAM) != 4 {
+		t.Fatalf("set len/count = %d/%d", s.Len(), s.Count(TierDRAM))
+	}
+	p := s.Remove(1)
+	if s.Len() != 3 || s.Count(TierDRAM) != 3 {
+		t.Fatalf("after remove: len/count = %d/%d", s.Len(), s.Count(TierDRAM))
+	}
+	// The removed page no longer tracks the set.
+	p.SetTier(TierNVM)
+	if s.Count(TierNVM) != 0 {
+		t.Fatal("removed page still updates set counts")
+	}
+	// Remaining pages still track it.
+	s.Page(0).SetTier(TierNVM)
+	if s.Count(TierNVM) != 1 {
+		t.Fatal("remaining page does not update set counts")
+	}
+	if s.Bytes() != 3*2*sim.MB {
+		t.Fatalf("Bytes = %d", s.Bytes())
+	}
+}
+
+// Property: under any sequence of tier moves, per-tier counts of a set
+// always sum to its length and match a naive recount.
+func TestSetCountConservation(t *testing.T) {
+	f := func(moves []uint16) bool {
+		a := NewAddressSpace(2 * sim.MB)
+		r := a.Map("heap", 64*sim.MB) // 32 pages
+		s := NewPageSet("s", r.Pages[8:24])
+		for _, mv := range moves {
+			p := r.Pages[int(mv)%len(r.Pages)]
+			p.SetTier(Tier(int(mv/64)%3 + 0)) // TierNone..TierNVM
+		}
+		var want [3]int
+		for _, p := range s.Pages() {
+			want[p.Tier]++
+		}
+		total := 0
+		for tier := TierNone; tier <= TierNVM; tier++ {
+			if s.Count(tier) != want[tier] {
+				return false
+			}
+			total += s.Count(tier)
+		}
+		return total == s.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Figure 3: scanning terabytes of base pages takes seconds; huge pages
+// milliseconds; gigantic pages microseconds. Small capacities are fast for
+// all page sizes.
+func TestScanTimeShape(t *testing.T) {
+	m := DefaultScanModel()
+
+	oneTB4K := m.ScanTime(sim.TB, 4*1024)
+	if oneTB4K < 1*sim.Second || oneTB4K > 10*sim.Second {
+		t.Errorf("1TB @4K scan = %v ms, want seconds", oneTB4K/sim.Millisecond)
+	}
+	oneTB2M := m.ScanTime(sim.TB, 2*sim.MB)
+	if oneTB2M > 50*sim.Millisecond {
+		t.Errorf("1TB @2M scan = %v ms, want few ms", oneTB2M/sim.Millisecond)
+	}
+	oneTB1G := m.ScanTime(sim.TB, sim.GB)
+	if oneTB1G > sim.Millisecond {
+		t.Errorf("1TB @1G scan = %v µs, want µs", oneTB1G/sim.Microsecond)
+	}
+	// Small memory is fast regardless of page size.
+	if m.ScanTime(10*sim.GB, 4*1024) > 100*sim.Millisecond {
+		t.Error("10GB @4K scan should be well under 100ms")
+	}
+	// Monotone in capacity.
+	if m.ScanTime(2*sim.TB, 4*1024) <= oneTB4K {
+		t.Error("scan time not monotone in capacity")
+	}
+	// Partial page rounds up.
+	if m.ScanTime(1, 4*1024) == 0 {
+		t.Error("scan of 1 byte should cost one PTE visit")
+	}
+}
+
+func TestShootdownStall(t *testing.T) {
+	m := DefaultScanModel()
+	if m.ShootdownStall(0) != 0 {
+		t.Fatal("no pages cleared should cost nothing")
+	}
+	one := m.ShootdownStall(1)
+	if one != m.IPIStall {
+		t.Fatalf("one page = %d, want one IPI %d", one, m.IPIStall)
+	}
+	batch := m.ShootdownStall(m.ShootdownBatch)
+	if batch != m.IPIStall {
+		t.Fatalf("full batch = %d, want one IPI", batch)
+	}
+	two := m.ShootdownStall(m.ShootdownBatch + 1)
+	if two != 2*m.IPIStall {
+		t.Fatalf("batch+1 = %d, want two IPIs", two)
+	}
+}
+
+func TestTierString(t *testing.T) {
+	if TierDRAM.String() != "DRAM" || TierNVM.String() != "NVM" || TierNone.String() != "none" {
+		t.Fatal("Tier strings wrong")
+	}
+}
+
+func TestMapPanicsOnBadPageSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewAddressSpace(0) did not panic")
+		}
+	}()
+	NewAddressSpace(0)
+}
