@@ -1,0 +1,20 @@
+# Tier-1 verification targets. `make check` is the full gate: vet,
+# build, and the test suite under the race detector.
+
+GO ?= go
+
+.PHONY: check vet build test race
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...

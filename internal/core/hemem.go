@@ -67,6 +67,19 @@ type Config struct {
 	EnableSwap bool
 	// FreeNVMTarget is the NVM kept free when swap is enabled.
 	FreeNVMTarget int64
+	// AdaptiveSampling raises the PEBS sample period when the buffer
+	// overruns persistently (Figure 10's tradeoff: fewer samples beat
+	// silently losing the hot set to drops). Off by default so the
+	// sensitivity experiments measure fixed periods.
+	AdaptiveSampling bool
+	// OverrunDropThreshold is the per-tick drop fraction above which a
+	// policy tick counts as overrunning (default 0.10).
+	OverrunDropThreshold float64
+	// OverrunPatience is how many consecutive overrunning ticks trigger a
+	// period raise (default 5).
+	OverrunPatience int
+	// MaxSamplePeriod caps adaptive raises (default 16× SamplePeriod).
+	MaxSamplePeriod float64
 }
 
 // DefaultConfig returns the paper's prototype parameters.
@@ -92,6 +105,45 @@ func DefaultConfig() Config {
 	}
 }
 
+// Validate reports the first invalid parameter, or nil. Zero values are
+// valid (New falls back to defaults).
+func (c Config) Validate() error {
+	if c.HotReadThreshold < 0 || c.HotWriteThreshold < 0 || c.CoolThreshold < 0 {
+		return fmt.Errorf("core: negative hot/cool threshold")
+	}
+	if c.PolicyInterval < 0 {
+		return fmt.Errorf("core: negative PolicyInterval %d", c.PolicyInterval)
+	}
+	if c.SamplePeriod < 0 || c.PEBSBufferCap < 0 || c.ReaderRate < 0 {
+		return fmt.Errorf("core: negative PEBS parameter")
+	}
+	if c.FreeDRAMTarget < 0 || c.FreeNVMTarget < 0 {
+		return fmt.Errorf("core: negative free-memory target")
+	}
+	if c.MigRateCap < 0 {
+		return fmt.Errorf("core: negative MigRateCap %v", c.MigRateCap)
+	}
+	if c.LargeAllocThreshold < 0 {
+		return fmt.Errorf("core: negative LargeAllocThreshold %d", c.LargeAllocThreshold)
+	}
+	if c.CopyThreads < 0 {
+		return fmt.Errorf("core: negative CopyThreads %d", c.CopyThreads)
+	}
+	if c.BackgroundThreads < 0 {
+		return fmt.Errorf("core: negative BackgroundThreads %v", c.BackgroundThreads)
+	}
+	if c.OverrunDropThreshold < 0 || c.OverrunDropThreshold > 1 {
+		return fmt.Errorf("core: OverrunDropThreshold %v outside [0,1]", c.OverrunDropThreshold)
+	}
+	if c.OverrunPatience < 0 {
+		return fmt.Errorf("core: negative OverrunPatience %d", c.OverrunPatience)
+	}
+	if c.MaxSamplePeriod < 0 {
+		return fmt.Errorf("core: negative MaxSamplePeriod %v", c.MaxSamplePeriod)
+	}
+	return nil
+}
+
 // Stats aggregates engine activity for reporting and tests.
 type Stats struct {
 	Samples      uint64
@@ -101,6 +153,11 @@ type Stats struct {
 	SwapIns      int64
 	SwapOuts     int64
 	WPStallPages int64
+	// EmergencyPromotions counts pages evacuated from NVM after an
+	// uncorrectable media error (also included in Promotions).
+	EmergencyPromotions int64
+	// PeriodRaises counts adaptive sample-period increases.
+	PeriodRaises int64
 }
 
 // HeMem is the manager: it implements machine.Manager, consumes PEBS
@@ -129,21 +186,55 @@ type HeMem struct {
 	managed    map[*vm.Region]bool // growth-promoted regions
 	diskCursor map[*vm.PageSet]int
 
+	// Adaptive-sampling state: buffer counters at the last policy tick
+	// and the current run of overrunning ticks.
+	lastPushed    uint64
+	lastDropped   uint64
+	overrunStreak int
+
 	stats Stats
 }
 
-// New creates a HeMem manager with cfg (zero value gets defaults).
+// New creates a HeMem manager with cfg (zero value gets defaults; call
+// Config.Validate to detect invalid negative parameters beforehand).
 func New(cfg Config) *HeMem {
 	if cfg.HotReadThreshold == 0 {
 		cfg = DefaultConfig()
+	}
+	def := DefaultConfig()
+	if cfg.PEBSBufferCap <= 0 {
+		cfg.PEBSBufferCap = def.PEBSBufferCap
+	}
+	if cfg.SamplePeriod <= 0 {
+		cfg.SamplePeriod = def.SamplePeriod
+	}
+	if cfg.ReaderRate <= 0 {
+		cfg.ReaderRate = def.ReaderRate
+	}
+	if cfg.MaxSamplePeriod <= 0 {
+		cfg.MaxSamplePeriod = 16 * cfg.SamplePeriod
+	}
+	if cfg.OverrunDropThreshold <= 0 {
+		cfg.OverrunDropThreshold = 0.10
+	}
+	if cfg.OverrunPatience <= 0 {
+		cfg.OverrunPatience = 5
 	}
 	h := &HeMem{cfg: cfg}
 	h.dramHot.Name, h.dramCold.Name = "dram-hot", "dram-cold"
 	h.nvmHot.Name, h.nvmCold.Name = "nvm-hot", "nvm-cold"
 	h.diskCold.Name = "disk-cold"
-	h.buffer = pebs.NewBuffer(cfg.PEBSBufferCap)
-	h.sampler = pebs.NewSampler(cfg.SamplePeriod, h.buffer)
-	h.reader = pebs.NewReader(cfg.ReaderRate)
+	var err error
+	if h.buffer, err = pebs.NewBuffer(cfg.PEBSBufferCap); err == nil {
+		if h.sampler, err = pebs.NewSampler(cfg.SamplePeriod, h.buffer); err == nil {
+			h.reader, err = pebs.NewReader(cfg.ReaderRate)
+		}
+	}
+	if err != nil {
+		// Internal invariant: the fields were normalized to positive
+		// values above.
+		panic("core: " + err.Error())
+	}
 	return h
 }
 
@@ -402,6 +493,9 @@ func (h *HeMem) classify(pi *PageInfo) {
 // DRAM pages when DRAM is full. If there are neither free nor cold DRAM
 // pages, the hot set exceeds DRAM and migration stops.
 func (h *HeMem) policy() {
+	if h.cfg.AdaptiveSampling {
+		h.adaptSampling()
+	}
 	if !h.cfg.MigrationEnabled {
 		return
 	}
@@ -459,6 +553,42 @@ func (h *HeMem) policy() {
 		h.promote(cand)
 		budget -= 2 * ps
 	}
+}
+
+// adaptSampling raises the PEBS sample period when the buffer overruns
+// persistently: each policy tick inspects the drop fraction of the records
+// offered since the last tick, and after OverrunPatience consecutive
+// overrunning ticks the period doubles, up to MaxSamplePeriod. Trading
+// sample resolution for a sustainable inflow keeps the reader tracking the
+// hot set instead of losing a bursty, biased slice of it to buffer
+// overruns (the Figure 10 regime).
+func (h *HeMem) adaptSampling() {
+	pushed, dropped := h.buffer.Pushed(), h.buffer.Dropped()
+	dp, dd := pushed-h.lastPushed, dropped-h.lastDropped
+	h.lastPushed, h.lastDropped = pushed, dropped
+	total := dp + dd
+	if total == 0 {
+		return
+	}
+	if float64(dd)/float64(total) <= h.cfg.OverrunDropThreshold {
+		h.overrunStreak = 0
+		return
+	}
+	h.overrunStreak++
+	if h.overrunStreak < h.cfg.OverrunPatience {
+		return
+	}
+	h.overrunStreak = 0
+	if h.sampler.Period >= h.cfg.MaxSamplePeriod {
+		return
+	}
+	p := h.sampler.Period * 2
+	if p > h.cfg.MaxSamplePeriod {
+		p = h.cfg.MaxSamplePeriod
+	}
+	h.sampler.Period = p
+	h.stats.PeriodRaises++
+	h.m.FaultCounters().SamplePeriodRaises++
 }
 
 // dramFree returns uncommitted DRAM bytes.
@@ -576,6 +706,67 @@ func (h *HeMem) OnMigrated(p *vm.Page) {
 		} else {
 			h.hotList(p.Tier).PushBack(pi)
 		}
+	} else {
+		h.coldList(p.Tier).PushBack(pi)
+	}
+}
+
+// OnMigrationFailed implements machine.MigrationFailureObserver: a
+// migration abandoned after exhausting its retries leaves the page in its
+// source tier, so the space committed at enqueue time is returned and the
+// page goes back on the list matching its current state.
+func (h *HeMem) OnMigrationFailed(p *vm.Page, dst vm.Tier) {
+	ps := h.m.Cfg.PageSize
+	switch {
+	case dst == vm.TierDRAM && p.Tier == vm.TierNVM:
+		// Failed promotion.
+		h.dramUsed -= ps
+		h.nvmUsed += ps
+	case dst == vm.TierNVM && p.Tier == vm.TierDRAM:
+		// Failed demotion.
+		h.dramUsed += ps
+		h.nvmUsed -= ps
+	case dst == vm.TierNVM && p.Tier == vm.TierDisk:
+		// Failed swap-in.
+		h.nvmUsed -= ps
+	case dst == vm.TierDisk && p.Tier == vm.TierNVM:
+		// Failed swap-out.
+		h.nvmUsed += ps
+	}
+	pi := h.info(p.ID)
+	if pi == nil {
+		return
+	}
+	if h.isHot(pi) {
+		h.hotList(p.Tier).PushBack(pi)
+	} else {
+		h.coldList(p.Tier).PushBack(pi)
+	}
+}
+
+// OnNVMUncorrectable implements machine.FaultHandler: a page whose NVM
+// frame took an uncorrectable error is evacuated immediately via an urgent
+// promotion that jumps the migration queue and cannot be aborted. If DRAM
+// cannot be committed the page stays on its freshly remapped NVM frame.
+func (h *HeMem) OnNVMUncorrectable(p *vm.Page) {
+	pi := h.info(p.ID)
+	if pi == nil || p.Tier != vm.TierNVM || p.Migrating {
+		return
+	}
+	if pi.list != nil {
+		pi.list.Remove(pi)
+	}
+	if h.m.Migrator.EnqueueUrgent(p, vm.TierDRAM) {
+		ps := h.m.Cfg.PageSize
+		h.dramUsed += ps
+		h.nvmUsed -= ps
+		h.stats.Promotions++
+		h.stats.EmergencyPromotions++
+		h.m.FaultCounters().EmergencyPromotions++
+		return
+	}
+	if h.isHot(pi) {
+		h.hotList(p.Tier).PushBack(pi)
 	} else {
 		h.coldList(p.Tier).PushBack(pi)
 	}

@@ -13,6 +13,8 @@
 package dma
 
 import (
+	"fmt"
+
 	"github.com/tieredmem/hemem/internal/sim"
 )
 
@@ -52,21 +54,101 @@ func DefaultConfig() Config {
 	}
 }
 
+// Validate reports the first invalid parameter, or nil. Zero values are
+// valid (they fall back to defaults in New).
+func (c Config) Validate() error {
+	if c.ChannelBW < 0 || c.EngineCap < 0 {
+		return fmt.Errorf("dma: negative bandwidth (channel %v, cap %v)", c.ChannelBW, c.EngineCap)
+	}
+	if c.SyscallBase < 0 || c.PerRequest < 0 || c.ChannelSetup < 0 {
+		return fmt.Errorf("dma: negative per-request cost")
+	}
+	if c.PerRequestSlope < 0 {
+		return fmt.Errorf("dma: negative PerRequestSlope %v", c.PerRequestSlope)
+	}
+	if c.MaxBatch < 0 || c.MaxChannels < 0 {
+		return fmt.Errorf("dma: negative batch/channel limit")
+	}
+	return nil
+}
+
+// withDefaults fills zero-value fields field-by-field, so a caller that
+// overrides only some parameters keeps the rest calibrated.
+func (c Config) withDefaults() Config {
+	def := DefaultConfig()
+	if c.ChannelBW == 0 {
+		c.ChannelBW = def.ChannelBW
+	}
+	if c.EngineCap == 0 {
+		c.EngineCap = def.EngineCap
+	}
+	if c.SyscallBase == 0 {
+		c.SyscallBase = def.SyscallBase
+	}
+	if c.PerRequest == 0 {
+		c.PerRequest = def.PerRequest
+	}
+	if c.PerRequestSlope == 0 {
+		c.PerRequestSlope = def.PerRequestSlope
+	}
+	if c.ChannelSetup == 0 {
+		c.ChannelSetup = def.ChannelSetup
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = def.MaxBatch
+	}
+	if c.MaxChannels == 0 {
+		c.MaxChannels = def.MaxChannels
+	}
+	return c
+}
+
+// FallbackCopyThreads is the software-copy pool size engaged when the DMA
+// engine becomes unavailable — the paper's measured optimum of 4 threads.
+const FallbackCopyThreads = 4
+
 // Engine is a DMA engine instance.
 type Engine struct {
 	cfg Config
 	// copiedBytes accounts total bytes moved, for reporting.
 	copiedBytes float64
+	// failed counts permanently failed channels (fault injection).
+	failed int
+	// derate scales channel and engine bandwidth during degraded episodes;
+	// 1 means full speed.
+	derate float64
 }
 
-// New returns an engine with cfg; zero-value fields fall back to defaults.
+// New returns an engine with cfg; zero-value fields fall back to defaults
+// field-by-field, so partially specified configs keep the remaining
+// parameters calibrated.
 func New(cfg Config) *Engine {
-	def := DefaultConfig()
-	if cfg.ChannelBW == 0 {
-		cfg = def
-	}
-	return &Engine{cfg: cfg}
+	return &Engine{cfg: cfg.withDefaults(), derate: 1}
 }
+
+// FailChannel permanently removes one channel (a hardware fault) and
+// returns how many remain live.
+func (e *Engine) FailChannel() int {
+	if e.failed < e.cfg.MaxChannels {
+		e.failed++
+	}
+	return e.LiveChannels()
+}
+
+// LiveChannels returns the number of channels still operational.
+func (e *Engine) LiveChannels() int { return e.cfg.MaxChannels - e.failed }
+
+// SetDerate scales the engine's bandwidth by f in (0, 1]; out-of-range
+// values restore full speed. Degraded-channel episodes use this.
+func (e *Engine) SetDerate(f float64) {
+	if f <= 0 || f > 1 {
+		f = 1
+	}
+	e.derate = f
+}
+
+// Derate returns the current bandwidth multiplier.
+func (e *Engine) Derate() float64 { return e.derate }
 
 // Config returns the engine's parameters.
 func (e *Engine) Config() Config { return e.cfg }
@@ -75,10 +157,14 @@ func (e *Engine) Config() Config { return e.cfg }
 // requests of reqSize bytes each, striped over channels.
 func (e *Engine) BatchTime(batch, channels int, reqSize int64) int64 {
 	batch, channels = e.clamp(batch, channels)
+	if channels == 0 {
+		return 0 // no live channels: the engine cannot copy at all
+	}
 	bw := e.cfg.ChannelBW * float64(channels)
 	if bw > e.cfg.EngineCap {
 		bw = e.cfg.EngineCap
 	}
+	bw *= e.derate
 	perReq := float64(e.cfg.PerRequest) * (1 + e.cfg.PerRequestSlope*float64(batch-1))
 	setup := float64(e.cfg.SyscallBase) +
 		float64(batch)*(perReq+float64(e.cfg.ChannelSetup)*float64(channels))
@@ -86,7 +172,8 @@ func (e *Engine) BatchTime(batch, channels int, reqSize int64) int64 {
 	return int64(setup + transfer)
 }
 
-// clamp bounds batch and channel counts to the engine's valid ranges.
+// clamp bounds batch and channel counts to the engine's valid ranges,
+// including channels lost to injected hardware faults.
 func (e *Engine) clamp(batch, channels int) (int, int) {
 	if batch < 1 {
 		batch = 1
@@ -97,8 +184,8 @@ func (e *Engine) clamp(batch, channels int) (int, int) {
 	if channels < 1 {
 		channels = 1
 	}
-	if channels > e.cfg.MaxChannels {
-		channels = e.cfg.MaxChannels
+	if live := e.LiveChannels(); channels > live {
+		channels = live
 	}
 	return batch, channels
 }

@@ -1,0 +1,106 @@
+package machine
+
+import (
+	"github.com/tieredmem/hemem/internal/vm"
+)
+
+// FaultHandler is implemented by managers that react to hardware faults
+// the machine injects. OnNVMUncorrectable reports that an uncorrectable
+// media error struck p while NVM-resident: the machine has already retired
+// the failing frame and remapped the page (vm.AddressSpace.RetireFrame);
+// the manager should respond, e.g. by queueing an emergency promotion to
+// DRAM. Managers that do not implement the interface still get the
+// retire-and-remap; they simply take no placement action.
+type FaultHandler interface {
+	OnNVMUncorrectable(p *vm.Page)
+}
+
+// MigrationFailureObserver is implemented by managers that want a callback
+// when a migration they enqueued is abandoned after exhausting its
+// retries. The page stays in its source tier with Migrating cleared; the
+// manager must undo any space accounting it committed at enqueue time and
+// return the page to its bookkeeping.
+type MigrationFailureObserver interface {
+	OnMigrationFailed(p *vm.Page, dst vm.Tier)
+}
+
+// applyFaults draws this quantum's fault decisions and applies them to the
+// devices and the migrator. It is a strict no-op when injection is
+// disabled: no randomness is drawn, no derates are touched, and no
+// counters move.
+func (m *Machine) applyFaults(now, dt int64) {
+	inj := m.Injector
+	if !inj.Enabled() {
+		return
+	}
+	ev := inj.Advance(now, dt)
+	if ev.DMADegradedStart {
+		m.faultStats.DMADegradedEpisodes++
+	}
+	if ev.NVMThermalStart {
+		m.faultStats.NVMThermalEpisodes++
+	}
+	if ev.PEBSStormStart {
+		m.faultStats.PEBSStorms++
+	}
+	for i := 0; i < ev.DMAChannelFails; i++ {
+		live, fellBack := m.Migrator.FailDMAChannel()
+		if live < 0 {
+			break // already on the software-copy path; nothing left to fail
+		}
+		m.faultStats.DMAChannelFailures++
+		if fellBack {
+			m.faultStats.SoftwareCopyFallbacks++
+		}
+	}
+	m.NVM.SetDerate(inj.NVMDerate())
+	if db, ok := m.Migrator.Backend().(DMABackend); ok {
+		db.Engine.SetDerate(inj.DMADerate())
+	}
+	for i := 0; i < ev.NVMUncorrectable; i++ {
+		m.injectNVMUE()
+	}
+}
+
+// injectNVMUE strikes a uniformly random NVM-resident page with an
+// uncorrectable media error: the frame is retired and the page remapped
+// (keeping its tier and contents — the error was caught on scrub, not on
+// a demand read), and a FaultHandler manager is asked to react.
+func (m *Machine) injectNVMUE() {
+	total := 0
+	for _, r := range m.AS.Regions {
+		total += r.Count(vm.TierNVM)
+	}
+	if total == 0 {
+		return
+	}
+	k := m.Injector.PickIndex(total)
+	var victim *vm.Page
+	for _, r := range m.AS.Regions {
+		n := r.Count(vm.TierNVM)
+		if k >= n {
+			k -= n
+			continue
+		}
+		for _, p := range r.Pages {
+			if p.Tier != vm.TierNVM {
+				continue
+			}
+			if k == 0 {
+				victim = p
+				break
+			}
+			k--
+		}
+		break
+	}
+	if victim == nil {
+		return
+	}
+	m.AS.RetireFrame(victim)
+	m.faultStats.NVMUncorrectable++
+	m.faultStats.PagesRetired++
+	if h, ok := m.Mgr.(FaultHandler); ok {
+		h.OnNVMUncorrectable(victim)
+	}
+}

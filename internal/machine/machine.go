@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 
+	"github.com/tieredmem/hemem/internal/fault"
 	"github.com/tieredmem/hemem/internal/mem"
 	"github.com/tieredmem/hemem/internal/pebs"
 	"github.com/tieredmem/hemem/internal/sim"
@@ -195,6 +196,56 @@ type Config struct {
 	PageSize int64
 	Quantum  int64
 	Seed     uint64
+	// Faults configures deterministic fault injection. The zero value
+	// disables it entirely; see internal/fault.
+	Faults fault.Config
+}
+
+// Validate reports the first invalid parameter, or nil. Zero values are
+// valid (they fall back to defaults in New).
+func (c Config) Validate() error {
+	if c.Cores < 0 {
+		return fmt.Errorf("machine: negative core count %d", c.Cores)
+	}
+	if c.DRAMSize < 0 || c.NVMSize < 0 || c.DiskSize < 0 {
+		return fmt.Errorf("machine: negative device size")
+	}
+	if c.PageSize < 0 {
+		return fmt.Errorf("machine: negative page size %d", c.PageSize)
+	}
+	if c.Quantum < 0 {
+		return fmt.Errorf("machine: negative quantum %d", c.Quantum)
+	}
+	return c.Faults.Validate()
+}
+
+// withDefaults fills unset fields. A config with Cores == 0 is treated as
+// fully default (the historical Config{} shorthand, including Seed 1);
+// otherwise zero-value sizes fall back field-by-field and Seed is kept
+// as given — 0 is a legitimate seed.
+func (c Config) withDefaults() Config {
+	if c.Cores == 0 {
+		def := DefaultConfig()
+		def.Faults = c.Faults
+		return def
+	}
+	def := DefaultConfig()
+	if c.DRAMSize == 0 {
+		c.DRAMSize = def.DRAMSize
+	}
+	if c.NVMSize == 0 {
+		c.NVMSize = def.NVMSize
+	}
+	if c.DiskSize == 0 {
+		c.DiskSize = def.DiskSize
+	}
+	if c.PageSize == 0 {
+		c.PageSize = def.PageSize
+	}
+	if c.Quantum == 0 {
+		c.Quantum = def.Quantum
+	}
+	return c
 }
 
 // DefaultConfig is one socket of the paper's dual-socket Cascade Lake
@@ -241,6 +292,11 @@ type Machine struct {
 	Workloads []Workload
 	Migrator  *Migrator
 
+	// Injector drives deterministic fault injection; always non-nil
+	// (disabled when Config.Faults is zero).
+	Injector   *fault.Injector
+	faultStats FaultStats
+
 	rates     map[*vm.PageSet]*SetRates
 	rateOrder []*vm.PageSet
 
@@ -257,11 +313,16 @@ type Machine struct {
 	faults     int64
 }
 
-// New builds a machine and attaches the manager.
+// injectorSeedSalt separates the injector's RNG stream from the machine's
+// main stream: fault decisions never perturb workload randomness, so a
+// disabled injector leaves runs bit-identical to builds without one.
+const injectorSeedSalt = 0x9e3779b97f4a7c15
+
+// New builds a machine and attaches the manager. Zero-value config fields
+// fall back to defaults (a fully zero config is the paper testbed); call
+// Config.Validate to detect invalid (negative) parameters beforehand.
 func New(cfg Config, mgr Manager) *Machine {
-	if cfg.Cores == 0 {
-		cfg = DefaultConfig()
-	}
+	cfg = cfg.withDefaults()
 	m := &Machine{
 		Cfg:        cfg,
 		Clock:      sim.NewClock(),
@@ -277,6 +338,7 @@ func New(cfg Config, mgr Manager) *Machine {
 		totalOps:   make(map[string]float64),
 		sampleEach: 100 * sim.Millisecond,
 	}
+	m.Injector = fault.New(cfg.Faults, sim.NewRand(cfg.Seed^injectorSeedSalt))
 	m.Migrator = NewMigrator(m)
 	mgr.Attach(m)
 	return m
@@ -388,10 +450,11 @@ func (m *Machine) RunUntilDone(maxDuration int64) {
 func (m *Machine) Step(dt int64) {
 	now := m.Clock.Now()
 	m.Events.RunDue(now)
+	m.applyFaults(now, dt)
 
 	// Advance migrations first so completed moves are visible to this
 	// quantum's costing, and so their bandwidth use seeds utilization.
-	m.Migrator.advance(dt)
+	m.Migrator.advance(now, dt)
 	migMoved := m.Migrator.planned(dt)
 
 	type wstate struct {
@@ -583,13 +646,26 @@ func (m *Machine) feedSamples(s *pebs.Sampler, c Component, occ float64) {
 		}
 		return pebs.Record{Page: p.ID, Kind: k}
 	}
+	// PEBS storm episodes multiply the sample inflow (counter
+	// misconfiguration / interrupt pressure); the factor is 1 outside
+	// storms and the multiply is skipped entirely then, keeping fault-free
+	// arithmetic bit-identical.
+	loadF := m.Injector.PEBSLoadFactor()
 	if c.ReadBytes > 0 {
 		lines := math.Ceil(float64(c.ReadBytes) / 64)
-		s.Feed(occ*lines, pebs.ClassLoad, func() pebs.Record { return pick(false) })
+		n := occ * lines
+		if loadF != 1 {
+			n *= loadF
+		}
+		s.Feed(n, pebs.ClassLoad, func() pebs.Record { return pick(false) })
 	}
 	if c.WriteBytes > 0 {
 		lines := math.Ceil(float64(c.WriteBytes) / 64)
-		s.Feed(occ*lines, pebs.ClassStore, func() pebs.Record { return pick(true) })
+		n := occ * lines
+		if loadF != 1 {
+			n *= loadF
+		}
+		s.Feed(n, pebs.ClassStore, func() pebs.Record { return pick(true) })
 	}
 }
 

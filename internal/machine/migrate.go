@@ -52,9 +52,22 @@ type MigStats struct {
 	Demotions  int64 // DRAM → NVM
 }
 
+// migReq is one in-flight page move. Migration is transactional: the copy
+// accumulates in done, a verification step at full copy may abort (fault
+// injection), and only commit flips the page's tier — rollback merely
+// resets done, leaving the source page intact.
 type migReq struct {
 	page *vm.Page
 	dst  vm.Tier
+	// done is the bytes copied in the current attempt.
+	done float64
+	// attempts counts aborted attempts so far.
+	attempts int
+	// notBefore delays the next attempt until the retry backoff expires.
+	notBefore int64
+	// urgent marks emergency moves (page retirement after an uncorrectable
+	// error); they jump the queue and are never aborted.
+	urgent bool
 }
 
 // moved summarizes the bytes a quantum's migrations put on each device.
@@ -73,9 +86,8 @@ type Migrator struct {
 	// RateCap bounds migration bandwidth in bytes/ns.
 	RateCap float64
 
-	queue    []migReq
-	headDone float64 // bytes of the head page already copied
-	busy     bool
+	queue []*migReq
+	busy  bool
 
 	lastMoved [devCount]moved // per direction (index: dst device)
 	stats     MigStats
@@ -106,7 +118,19 @@ func (g *Migrator) Enqueue(p *vm.Page, dst vm.Tier) bool {
 		return false
 	}
 	p.Migrating = true
-	g.queue = append(g.queue, migReq{page: p, dst: dst})
+	g.queue = append(g.queue, &migReq{page: p, dst: dst})
+	return true
+}
+
+// EnqueueUrgent schedules an emergency migration (e.g. evacuating a page
+// whose NVM frame took an uncorrectable error) at the head of the queue.
+// Urgent moves are never aborted by fault injection.
+func (g *Migrator) EnqueueUrgent(p *vm.Page, dst vm.Tier) bool {
+	if p.Migrating || p.Tier == dst || dst == vm.TierNone {
+		return false
+	}
+	p.Migrating = true
+	g.queue = append([]*migReq{{page: p, dst: dst, urgent: true}}, g.queue...)
 	return true
 }
 
@@ -115,21 +139,41 @@ func (g *Migrator) QueueLen() int { return len(g.queue) }
 
 // QueuedBytes returns the bytes still to be copied.
 func (g *Migrator) QueuedBytes() float64 {
-	if len(g.queue) == 0 {
-		return 0
-	}
 	ps := float64(g.m.Cfg.PageSize)
-	return float64(len(g.queue))*ps - g.headDone
+	total := 0.0
+	for _, req := range g.queue {
+		total += ps - req.done
+	}
+	return total
+}
+
+// FailDMAChannel removes one DMA channel after an injected hardware fault.
+// It returns the number of channels still live and whether this failure
+// exhausted the engine, triggering the fall back to the paper's 4-thread
+// software-copy pool. A migrator already on a non-DMA backend returns
+// (-1, false).
+func (g *Migrator) FailDMAChannel() (live int, fellBack bool) {
+	db, ok := g.backend.(DMABackend)
+	if !ok {
+		return -1, false
+	}
+	live = db.Engine.FailChannel()
+	if live == 0 {
+		g.backend = ThreadBackend{Copier: dma.NewThreadCopier(dma.FallbackCopyThreads)}
+		return 0, true
+	}
+	return live, false
 }
 
 // Stats returns cumulative migration statistics.
 func (g *Migrator) Stats() MigStats { return g.stats }
 
 // advance runs up to one quantum's worth of copying: budget-limited FIFO
-// processing with wear charged to both devices. It is called by
-// Machine.Step before traffic costing so completed moves are visible
+// processing with wear charged to both devices. Requests still waiting out
+// a retry backoff are skipped without head-of-line blocking. It is called
+// by Machine.Step before traffic costing so completed moves are visible
 // immediately.
-func (g *Migrator) advance(dt int64) {
+func (g *Migrator) advance(now, dt int64) {
 	g.lastMoved = [devCount]moved{}
 	if len(g.queue) == 0 {
 		g.busy = false
@@ -142,20 +186,24 @@ func (g *Migrator) advance(dt int64) {
 	}
 	budget := rate * float64(dt)
 	ps := float64(g.m.Cfg.PageSize)
-	for budget > 0 && len(g.queue) > 0 {
-		req := g.queue[0]
-		need := ps - g.headDone
+	i := 0
+	for budget > 0 && i < len(g.queue) {
+		req := g.queue[i]
+		if req.notBefore > now {
+			i++
+			continue
+		}
+		need := ps - req.done
 		chunk := need
 		if chunk > budget {
 			chunk = budget
 		}
 		budget -= chunk
-		g.headDone += chunk
+		req.done += chunk
 		g.charge(req.page.Tier, req.dst, chunk)
-		if g.headDone >= ps {
-			g.headDone = 0
-			g.queue = g.queue[1:]
-			g.complete(req)
+		if req.done >= ps {
+			g.queue = append(g.queue[:i], g.queue[i+1:]...)
+			g.finish(req, now)
 		}
 	}
 	if len(g.queue) == 0 {
@@ -175,8 +223,42 @@ func (g *Migrator) charge(src, dst vm.Tier, bytes float64) {
 	g.stats.Bytes += bytes
 }
 
-// complete finalizes one page move.
-func (g *Migrator) complete(req migReq) {
+// finish runs the verification step at the end of one full page copy: the
+// move either aborts (injected verification failure / destination
+// pressure) and rolls back, or commits. Urgent moves never abort.
+func (g *Migrator) finish(req *migReq, now int64) {
+	if !req.urgent && g.m.Injector.MigrationAbort() {
+		g.abort(req, now)
+		return
+	}
+	g.complete(req)
+}
+
+// abort rolls back a failed copy attempt. The copied bytes are discarded —
+// wear stays charged, since the traffic really hit the media — and the
+// source page remains intact in place. The request retries after a capped
+// exponential backoff, or is abandoned once it exhausts its retries (the
+// page stays put and the manager is told to undo its accounting).
+func (g *Migrator) abort(req *migReq, now int64) {
+	st := g.m.FaultCounters()
+	st.MigrationAborts++
+	req.done = 0
+	req.attempts++
+	if req.attempts > g.m.Injector.MaxRetries() {
+		st.MigrationsAbandoned++
+		req.page.Migrating = false
+		if obs, ok := g.m.Mgr.(MigrationFailureObserver); ok {
+			obs.OnMigrationFailed(req.page, req.dst)
+		}
+		return
+	}
+	st.MigrationRetries++
+	req.notBefore = now + g.m.Injector.Backoff(req.attempts)
+	g.queue = append(g.queue, req)
+}
+
+// complete commits one page move.
+func (g *Migrator) complete(req *migReq) {
 	if req.dst == vm.TierDRAM {
 		g.stats.Promotions++
 	} else {

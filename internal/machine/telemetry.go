@@ -9,6 +9,43 @@ import (
 	"github.com/tieredmem/hemem/internal/sim"
 )
 
+// FaultStats counts injected faults and the recovery actions they
+// triggered, split by mechanism. Counters only move when fault injection
+// is enabled.
+type FaultStats struct {
+	// Injected faults.
+	MigrationAborts     int64 // copy attempts failing verification
+	DMAChannelFailures  int64 // permanent channel losses
+	DMADegradedEpisodes int64 // degraded-bandwidth episode onsets
+	NVMUncorrectable    int64 // uncorrectable media errors struck
+	NVMThermalEpisodes  int64 // thermal-throttle episode onsets
+	PEBSStorms          int64 // sampling-storm episode onsets
+
+	// Recovery actions.
+	MigrationRetries      int64 // aborted copies re-queued with backoff
+	MigrationsAbandoned   int64 // migrations given up after max retries
+	SoftwareCopyFallbacks int64 // DMA engine dead → thread-copy pool
+	PagesRetired          int64 // frames retired and pages remapped
+	EmergencyPromotions   int64 // struck pages promoted out of NVM
+	SamplePeriodRaises    int64 // adaptive PEBS period increases
+}
+
+// Injected sums the injected-fault counts.
+func (s FaultStats) Injected() int64 {
+	return s.MigrationAborts + s.DMAChannelFailures + s.DMADegradedEpisodes +
+		s.NVMUncorrectable + s.NVMThermalEpisodes + s.PEBSStorms
+}
+
+// Recoveries sums the recovery-action counts.
+func (s FaultStats) Recoveries() int64 {
+	return s.MigrationRetries + s.MigrationsAbandoned + s.SoftwareCopyFallbacks +
+		s.PagesRetired + s.EmergencyPromotions + s.SamplePeriodRaises
+}
+
+// FaultCounters returns the machine's fault/recovery counters. Managers
+// increment recovery counts through it (e.g. emergency promotions).
+func (m *Machine) FaultCounters() *FaultStats { return &m.faultStats }
+
 // Telemetry records machine-level time series while the simulation runs:
 // per-device read/write bandwidth (from wear-counter deltas, so it covers
 // application traffic, migrations, and cache writebacks alike), migration
@@ -67,6 +104,17 @@ func (t *Telemetry) sample(m *Machine, now int64, stallFrac float64) {
 	t.get("migration.queue.pages").Append(now, float64(m.Migrator.QueueLen()))
 	t.get("migration.total.gb").Append(now, m.Migrator.Stats().Bytes/float64(sim.GB))
 	t.get("stall.frac").Append(now, stallFrac)
+	// Fault series exist only when injection is enabled, so fault-free
+	// telemetry (and its CSV) is byte-identical to builds without the
+	// fault layer.
+	if m.Injector.Enabled() {
+		fs := m.faultStats
+		t.get("fault.injected.total").Append(now, float64(fs.Injected()))
+		t.get("fault.recovery.total").Append(now, float64(fs.Recoveries()))
+		t.get("fault.migration.aborts").Append(now, float64(fs.MigrationAborts))
+		t.get("fault.migration.abandoned").Append(now, float64(fs.MigrationsAbandoned))
+		t.get("fault.nvm.retired").Append(now, float64(fs.PagesRetired))
+	}
 }
 
 // Series returns the named series, or nil (names:

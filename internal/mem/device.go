@@ -93,14 +93,60 @@ type Wear struct {
 	WriteOps   float64
 }
 
+// Validate reports the first invalid spec parameter, or nil.
+func (s Spec) Validate() error {
+	if s.Capacity < 0 {
+		return fmt.Errorf("mem: %s capacity %d negative", s.Name, s.Capacity)
+	}
+	if s.ReadLatency < 0 || s.WriteLatency < 0 || s.SeqOverhead < 0 {
+		return fmt.Errorf("mem: %s has negative latency", s.Name)
+	}
+	for k := 0; k < 2; k++ {
+		if s.Stream[k] <= 0 || s.StreamRand[k] <= 0 {
+			return fmt.Errorf("mem: %s stream bandwidth must be positive", s.Name)
+		}
+		for p := 0; p < 2; p++ {
+			if s.Peak[k][p] <= 0 {
+				return fmt.Errorf("mem: %s peak bandwidth must be positive", s.Name)
+			}
+		}
+	}
+	if s.MediaGranularity < 0 {
+		return fmt.Errorf("mem: %s media granularity %d negative", s.Name, s.MediaGranularity)
+	}
+	return nil
+}
+
 // Device is a memory device instance with live wear counters.
 type Device struct {
 	Spec Spec
 	wear Wear
+	// derate scales bandwidth during injected throttle episodes (NVM
+	// thermal throttling); 1 means full speed.
+	derate float64
 }
 
 // New returns a device with the given spec.
-func New(spec Spec) *Device { return &Device{Spec: spec} }
+func New(spec Spec) *Device { return &Device{Spec: spec, derate: 1} }
+
+// SetDerate scales the device's bandwidth (stream rates and saturation
+// ceilings) by f in (0, 1]; out-of-range values restore full speed.
+// Latency is unaffected: throttling caps transfer rates, it does not slow
+// the first access.
+func (d *Device) SetDerate(f float64) {
+	if f <= 0 || f > 1 {
+		f = 1
+	}
+	d.derate = f
+}
+
+// Derate returns the current bandwidth multiplier.
+func (d *Device) Derate() float64 {
+	if d.derate == 0 {
+		return 1 // zero-value Device constructed without New
+	}
+	return d.derate
+}
 
 // DRAMSpec returns the calibrated DDR4 spec of the paper's testbed socket
 // (192 GB, 6 channels) scaled to the given capacity.
@@ -185,12 +231,16 @@ func (d *Device) latency(kind Kind, pattern Pattern) float64 {
 }
 
 // StreamRate returns the per-thread transfer bandwidth in bytes/ns for
-// the given kind and pattern.
+// the given kind and pattern, reduced by any active throttle derate.
 func (d *Device) StreamRate(kind Kind, pattern Pattern) float64 {
+	r := d.Spec.Stream[kind]
 	if pattern == Random {
-		return d.Spec.StreamRand[kind]
+		r = d.Spec.StreamRand[kind]
 	}
-	return d.Spec.Stream[kind]
+	if f := d.Derate(); f != 1 {
+		r *= f
+	}
+	return r
 }
 
 // AccessTime returns the time in ns one thread needs for a single access of
@@ -251,6 +301,9 @@ func (d *Device) PeakFor(kind Kind, pattern Pattern, blockSize int64) float64 {
 		w := float64(blockSize) / (float64(blockSize) + blend)
 		p += (d.Spec.Peak[kind][Sequential] - p) * w
 	}
+	if f := d.Derate(); f != 1 {
+		p *= f
+	}
 	return p
 }
 
@@ -258,7 +311,11 @@ func (d *Device) PeakFor(kind Kind, pattern Pattern, blockSize int64) float64 {
 // kind and pattern in bytes/ns; the machine's contention solver divides
 // this among all consumers (application accesses plus migrations).
 func (d *Device) EffectiveBandwidth(kind Kind, pattern Pattern) float64 {
-	return d.Spec.Peak[kind][pattern]
+	p := d.Spec.Peak[kind][pattern]
+	if f := d.Derate(); f != 1 {
+		p *= f
+	}
+	return p
 }
 
 // Record charges traffic to the device's wear counters. size is in

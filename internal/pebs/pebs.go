@@ -12,7 +12,11 @@
 // arrive too rarely to track the hot set.
 package pebs
 
-import "github.com/tieredmem/hemem/internal/vm"
+import (
+	"fmt"
+
+	"github.com/tieredmem/hemem/internal/vm"
+)
 
 // Kind classifies a sample by the performance counter that produced it.
 type Kind uint8
@@ -51,12 +55,13 @@ type Buffer struct {
 	dropped uint64
 }
 
-// NewBuffer allocates a buffer holding capacity records.
-func NewBuffer(capacity int) *Buffer {
+// NewBuffer allocates a buffer holding capacity records. Capacity must be
+// positive.
+func NewBuffer(capacity int) (*Buffer, error) {
 	if capacity <= 0 {
-		panic("pebs: buffer capacity must be positive")
+		return nil, fmt.Errorf("pebs: buffer capacity must be positive, got %d", capacity)
 	}
-	return &Buffer{buf: make([]Record, capacity)}
+	return &Buffer{buf: make([]Record, capacity)}, nil
 }
 
 // Push appends a record, returning false (and counting a drop) if full.
@@ -126,11 +131,15 @@ type Sampler struct {
 }
 
 // NewSampler creates a sampler with the given period writing into buf.
-func NewSampler(period float64, buf *Buffer) *Sampler {
+// Period must be positive and buf non-nil.
+func NewSampler(period float64, buf *Buffer) (*Sampler, error) {
 	if period <= 0 {
-		panic("pebs: sample period must be positive")
+		return nil, fmt.Errorf("pebs: sample period must be positive, got %v", period)
 	}
-	return &Sampler{Period: period, buf: buf}
+	if buf == nil {
+		return nil, fmt.Errorf("pebs: sampler needs a buffer")
+	}
+	return &Sampler{Period: period, buf: buf}, nil
 }
 
 // Buffer returns the buffer the sampler writes to.
@@ -169,11 +178,12 @@ type Reader struct {
 const DefaultReaderRate = 200_000
 
 // NewReader returns a reader with the given capacity (records/second).
-func NewReader(ratePerSec float64) *Reader {
+// The rate must be positive.
+func NewReader(ratePerSec float64) (*Reader, error) {
 	if ratePerSec <= 0 {
-		panic("pebs: reader rate must be positive")
+		return nil, fmt.Errorf("pebs: reader rate must be positive, got %v", ratePerSec)
 	}
-	return &Reader{RatePerSec: ratePerSec}
+	return &Reader{RatePerSec: ratePerSec}, nil
 }
 
 // Drain processes up to its rate budget for a quantum of dt nanoseconds,

@@ -8,8 +8,37 @@ import (
 	"github.com/tieredmem/hemem/internal/vm"
 )
 
+// mustBuffer/mustSampler/mustReader wrap the error-returning constructors
+// for tests that only use valid parameters.
+func mustBuffer(t *testing.T, capacity int) *Buffer {
+	t.Helper()
+	b, err := NewBuffer(capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func mustSampler(t *testing.T, period float64, buf *Buffer) *Sampler {
+	t.Helper()
+	s, err := NewSampler(period, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func mustReader(t *testing.T, rate float64) *Reader {
+	t.Helper()
+	r, err := NewReader(rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
 func TestBufferFIFO(t *testing.T) {
-	b := NewBuffer(4)
+	b := mustBuffer(t, 4)
 	for i := 0; i < 3; i++ {
 		if !b.Push(Record{Page: vm.PageID(i)}) {
 			t.Fatalf("push %d failed", i)
@@ -27,7 +56,7 @@ func TestBufferFIFO(t *testing.T) {
 }
 
 func TestBufferOverrunDrops(t *testing.T) {
-	b := NewBuffer(2)
+	b := mustBuffer(t, 2)
 	b.Push(Record{Page: 1})
 	b.Push(Record{Page: 2})
 	if b.Push(Record{Page: 3}) {
@@ -47,7 +76,7 @@ func TestBufferOverrunDrops(t *testing.T) {
 }
 
 func TestBufferWrapAround(t *testing.T) {
-	b := NewBuffer(3)
+	b := mustBuffer(t, 3)
 	next := vm.PageID(0)
 	expect := vm.PageID(0)
 	for round := 0; round < 50; round++ {
@@ -68,8 +97,8 @@ func TestBufferWrapAround(t *testing.T) {
 }
 
 func TestSamplerPeriod(t *testing.T) {
-	b := NewBuffer(1 << 20)
-	s := NewSampler(5000, b)
+	b := mustBuffer(t, 1<<20)
+	s := mustSampler(t, 5000, b)
 	picked := 0
 	pick := func() Record { picked++; return Record{Page: 7, Kind: Store} }
 
@@ -87,8 +116,8 @@ func TestSamplerPeriod(t *testing.T) {
 }
 
 func TestSamplerFractionalCarry(t *testing.T) {
-	b := NewBuffer(1 << 16)
-	s := NewSampler(1000, b)
+	b := mustBuffer(t, 1<<16)
+	s := mustSampler(t, 1000, b)
 	// Feed 0.1 accesses 20,000 times = 2000 accesses = 2 samples.
 	for i := 0; i < 20000; i++ {
 		s.Feed(0.1, ClassLoad, func() Record { return Record{Page: 1, Kind: LoadNVM} })
@@ -99,8 +128,8 @@ func TestSamplerFractionalCarry(t *testing.T) {
 }
 
 func TestSamplerKindsIndependent(t *testing.T) {
-	b := NewBuffer(1 << 16)
-	s := NewSampler(100, b)
+	b := mustBuffer(t, 1<<16)
+	s := mustSampler(t, 100, b)
 	s.Feed(99, ClassStore, func() Record { return Record{Page: 1, Kind: Store} })
 	s.Feed(99, ClassLoad, func() Record { return Record{Page: 1, Kind: LoadNVM} })
 	if b.Len() != 0 {
@@ -113,11 +142,11 @@ func TestSamplerKindsIndependent(t *testing.T) {
 }
 
 func TestReaderBoundedRate(t *testing.T) {
-	b := NewBuffer(1 << 16)
+	b := mustBuffer(t, 1<<16)
 	for i := 0; i < 1000; i++ {
 		b.Push(Record{Page: vm.PageID(i)})
 	}
-	r := NewReader(100_000) // 100k/s
+	r := mustReader(t, 100_000) // 100k/s
 	var got []Record
 	n := r.Drain(b, 1*sim.Millisecond, func(rec Record) { got = append(got, rec) })
 	if n != 100 {
@@ -127,8 +156,8 @@ func TestReaderBoundedRate(t *testing.T) {
 		t.Fatalf("buffer len = %d, want 900", b.Len())
 	}
 	// Budget does not bank across idle quanta beyond one quantum.
-	empty := NewBuffer(16)
-	r2 := NewReader(100_000)
+	empty := mustBuffer(t, 16)
+	r2 := mustReader(t, 100_000)
 	r2.Drain(empty, 100*sim.Millisecond, func(Record) {})
 	for i := 0; i < 16; i++ {
 		empty.Push(Record{})
@@ -143,9 +172,9 @@ func TestReaderBoundedRate(t *testing.T) {
 // below, none do (the Figure 10 mechanism).
 func TestDropsOnlyWhenOutpaced(t *testing.T) {
 	run := func(period float64) float64 {
-		b := NewBuffer(4096)
-		s := NewSampler(period, b)
-		r := NewReader(DefaultReaderRate)
+		b := mustBuffer(t, 4096)
+		s := mustSampler(t, period, b)
+		r := mustReader(t, DefaultReaderRate)
 		// 0.1 Gops/s for 2 simulated seconds, 1 ms quanta.
 		for i := 0; i < 2000; i++ {
 			s.Feed(100_000, ClassStore, func() Record { return Record{Page: 1, Kind: Store} })
@@ -166,7 +195,10 @@ func TestDropsOnlyWhenOutpaced(t *testing.T) {
 func TestBufferConservation(t *testing.T) {
 	f := func(ops []bool, capRaw uint8) bool {
 		capacity := int(capRaw%64) + 1
-		b := NewBuffer(capacity)
+		b, err := NewBuffer(capacity)
+		if err != nil {
+			return false
+		}
 		var offered, popped uint64
 		for _, push := range ops {
 			if push {
@@ -186,20 +218,21 @@ func TestBufferConservation(t *testing.T) {
 	}
 }
 
-func TestConstructorPanics(t *testing.T) {
-	for name, fn := range map[string]func(){
-		"buffer":  func() { NewBuffer(0) },
-		"sampler": func() { NewSampler(0, NewBuffer(1)) },
-		"reader":  func() { NewReader(0) },
-	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("%s: no panic on invalid arg", name)
-				}
-			}()
-			fn()
-		}()
+func TestConstructorErrors(t *testing.T) {
+	if _, err := NewBuffer(0); err == nil {
+		t.Error("NewBuffer(0): no error on invalid capacity")
+	}
+	if _, err := NewBuffer(-5); err == nil {
+		t.Error("NewBuffer(-5): no error on negative capacity")
+	}
+	if _, err := NewSampler(0, mustBuffer(t, 1)); err == nil {
+		t.Error("NewSampler(0, buf): no error on invalid period")
+	}
+	if _, err := NewSampler(100, nil); err == nil {
+		t.Error("NewSampler(_, nil): no error on nil buffer")
+	}
+	if _, err := NewReader(0); err == nil {
+		t.Error("NewReader(0): no error on invalid rate")
 	}
 }
 

@@ -213,6 +213,19 @@ func (g *Manager) ActiveThreads() float64 { return g.opt.BGThreads }
 // happens eagerly at enqueue time; nothing to do on completion).
 func (g *Manager) OnMigrated(p *vm.Page) {}
 
+// OnMigrationFailed implements machine.MigrationFailureObserver: undo the
+// DRAM space committed (or released) at enqueue time when a migration is
+// abandoned after exhausting its retries.
+func (g *Manager) OnMigrationFailed(p *vm.Page, dst vm.Tier) {
+	ps := g.m.Cfg.PageSize
+	switch {
+	case dst == vm.TierDRAM:
+		g.dramUsed -= ps // failed promotion
+	case dst == vm.TierNVM && p.Tier == vm.TierDRAM:
+		g.dramUsed += ps // failed demotion
+	}
+}
+
 // policy makes one round of migration decisions from the zone estimates
 // and returns the bytes enqueued. Budgeting: async mode uses the rate cap
 // times the elapsed interval; sync mode uses MaxCycleBytes.

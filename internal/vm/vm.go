@@ -65,6 +65,11 @@ type Page struct {
 	// tiers; writes to it stall (userfaultfd write-protection, §3.2).
 	Migrating bool
 
+	// Remaps counts how many times this page was remapped to a fresh
+	// physical frame after an uncorrectable media error retired the frame
+	// backing it (AddressSpace.RetireFrame).
+	Remaps int
+
 	sets []*PageSet
 }
 
@@ -203,8 +208,9 @@ type AddressSpace struct {
 	PageSize int64
 	Regions  []*Region
 
-	pages  []*Page
-	nextVA int64
+	pages         []*Page
+	nextVA        int64
+	retiredFrames int
 }
 
 // NewAddressSpace creates an empty address space with the given page size
@@ -240,6 +246,19 @@ func (a *AddressSpace) Page(id PageID) *Page { return a.pages[id] }
 
 // NumPages returns the total number of pages mapped.
 func (a *AddressSpace) NumPages() int { return len(a.pages) }
+
+// RetireFrame records that the physical frame backing p suffered an
+// uncorrectable media error and was taken out of service: p is remapped
+// to a fresh frame (the OS hwpoison/soft-offline path) and keeps its
+// virtual address, tier, and set memberships.
+func (a *AddressSpace) RetireFrame(p *Page) {
+	p.Remaps++
+	a.retiredFrames++
+}
+
+// RetiredFrames returns how many physical frames were retired after
+// uncorrectable errors.
+func (a *AddressSpace) RetiredFrames() int { return a.retiredFrames }
 
 // TotalBytes returns the bytes mapped across all regions.
 func (a *AddressSpace) TotalBytes() int64 { return int64(len(a.pages)) * a.PageSize }

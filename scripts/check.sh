@@ -1,0 +1,14 @@
+#!/bin/sh
+# Tier-1 verification gate: vet, build, and race-enabled tests.
+# Equivalent to `make check`; kept as a script for environments
+# without make.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+echo "== go build ./..."
+go build ./...
+echo "== go test -race ./..."
+go test -race ./...
+echo "OK"
