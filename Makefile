@@ -2,8 +2,9 @@
 # build, and the test suite under the race detector.
 
 GO ?= go
+BENCH_OUT ?= BENCH_pr2.json
 
-.PHONY: check vet build test race
+.PHONY: check vet build test race bench
 
 check: vet build race
 
@@ -18,3 +19,9 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Simulator performance harness: GUPS/KVS/GAP scenarios, reporting wall
+# clock, simulated-ns per second, allocations, and seeded-determinism
+# checks as JSON.
+bench:
+	$(GO) run ./cmd/hemem-bench -perf -out $(BENCH_OUT)

@@ -195,7 +195,7 @@ func BenchmarkFig16_BC29Wear(b *testing.B) {
 
 func BenchmarkAblationWritePriority(b *testing.B) {
 	cfg := hemem.DefaultHeMemConfig()
-	cfg.WritePriority = false
+	cfg.NoWritePriority = true
 	for i := 0; i < b.N; i++ {
 		runGUPS(hemem.NewHeMem(cfg),
 			hemem.GUPSConfig{Threads: 16, WorkingSet: 512 * hemem.GB,
@@ -206,7 +206,7 @@ func BenchmarkAblationWritePriority(b *testing.B) {
 
 func BenchmarkAblationCoolingDisabled(b *testing.B) {
 	cfg := hemem.DefaultHeMemConfig()
-	cfg.CoolingEnabled = false
+	cfg.NoCooling = true
 	for i := 0; i < b.N; i++ {
 		runGUPS(hemem.NewHeMem(cfg),
 			hemem.GUPSConfig{Threads: 16, WorkingSet: 512 * hemem.GB, HotSet: 16 * hemem.GB, Seed: 17},
@@ -216,7 +216,7 @@ func BenchmarkAblationCoolingDisabled(b *testing.B) {
 
 func BenchmarkAblationCopyThreads(b *testing.B) {
 	cfg := hemem.DefaultHeMemConfig()
-	cfg.UseDMA = false
+	cfg.NoDMA = true
 	for i := 0; i < b.N; i++ {
 		runGUPS(hemem.NewHeMem(cfg),
 			hemem.GUPSConfig{Threads: 24, WorkingSet: 512 * hemem.GB, HotSet: 16 * hemem.GB, Seed: 17},

@@ -6,6 +6,10 @@
 //	hemem-bench -list              list experiments
 //	hemem-bench -exp fig5          run one experiment (quick parameters)
 //	hemem-bench -exp all -full     run everything at paper-scale lengths
+//	hemem-bench -perf -out BENCH_pr2.json
+//	                               measure simulator performance (wall
+//	                               clock, sim-ns/sec, allocations) and
+//	                               verify seeded determinism
 package main
 
 import (
@@ -23,8 +27,28 @@ func main() {
 		full = flag.Bool("full", false, "paper-scale run lengths")
 		seed = flag.Uint64("seed", 0, "workload layout seed (0 = default)")
 		list = flag.Bool("list", false, "list experiments")
+		perf = flag.Bool("perf", false, "run the simulator performance harness")
+		out  = flag.String("out", "", "with -perf: write the JSON report to this file (default stdout)")
 	)
 	flag.Parse()
+
+	if *perf {
+		jsonOut := os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			jsonOut = f
+		}
+		if err := bench.WritePerf(jsonOut, os.Stderr, bench.Opts{Full: *full, Seed: *seed}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list || *exp == "" {
 		fmt.Println("experiments:")

@@ -29,7 +29,7 @@ func runExtSwap(w io.Writer, o Opts) {
 		row := func(migrate bool) (float64, *core.HeMem, *gups.GUPS, *machine.Machine) {
 			cfg := core.DefaultConfig()
 			cfg.EnableSwap = true
-			cfg.MigrationEnabled = migrate
+			cfg.NoMigration = !migrate
 			h := core.New(cfg)
 			m := machine.New(machine.DefaultConfig(), h)
 			g := gups.New(m, gups.Config{

@@ -93,7 +93,7 @@ func runFig7(w io.Writer, o Opts) {
 	measure := o.scale(40, 120) * sim.Second
 	heThreads := func() machine.Manager {
 		cfg := core.DefaultConfig()
-		cfg.UseDMA = false
+		cfg.NoDMA = true
 		return core.New(cfg)
 	}
 	tw := table(w)
@@ -190,7 +190,7 @@ func runFig8(w io.Writer, o Opts) {
 		{"Opt", func(m *machine.Machine, g *gups.GUPS) machine.Manager { return xmem.Opt(g.HotPages()) }},
 		{"PEBS", func(m *machine.Machine, g *gups.GUPS) machine.Manager {
 			cfg := core.DefaultConfig()
-			cfg.MigrationEnabled = false
+			cfg.NoMigration = true
 			cfg.PlaceFunc = manual(m, g)
 			return core.New(cfg)
 		}},

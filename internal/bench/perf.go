@@ -1,0 +1,199 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"time"
+
+	"github.com/tieredmem/hemem/internal/gap"
+	"github.com/tieredmem/hemem/internal/gups"
+	"github.com/tieredmem/hemem/internal/kvs"
+	"github.com/tieredmem/hemem/internal/machine"
+	"github.com/tieredmem/hemem/internal/sim"
+)
+
+// This file is the performance harness (as opposed to the fidelity
+// experiments in the rest of the package): it measures how fast the
+// simulator itself runs — wall-clock, simulated-ns per wall-second, and
+// allocations — over the three workload families the paper evaluates, and
+// verifies that repeated seeded runs produce bit-identical simulated
+// results. `make bench` writes the report to BENCH_pr2.json so perf
+// regressions in the hot path (sampling, policy tick, migration queue)
+// show up as a diffable artifact.
+
+// PerfResult is one scenario's measurement.
+type PerfResult struct {
+	ID string `json:"id"`
+	// WallSeconds is the real time the timed run took.
+	WallSeconds float64 `json:"wall_seconds"`
+	// SimulatedNS is the simulated time the run covered.
+	SimulatedNS int64 `json:"simulated_ns"`
+	// SimNSPerSec is simulated nanoseconds advanced per wall-clock
+	// second — the harness's primary throughput metric.
+	SimNSPerSec float64 `json:"sim_ns_per_sec"`
+	// Allocs and AllocBytes are heap allocations during the timed run.
+	Allocs     uint64 `json:"allocs"`
+	AllocBytes uint64 `json:"alloc_bytes"`
+	// Score is the workload's own figure of merit (GUPS, Mops, ...).
+	Score float64 `json:"score"`
+	// Digest fingerprints the simulated outcome (score bits, sample and
+	// migration counters). Deterministic reports whether an identically
+	// seeded rerun reproduced it bit-for-bit.
+	Digest        string `json:"digest"`
+	Deterministic bool   `json:"deterministic"`
+}
+
+// PerfReport is the full harness output.
+type PerfReport struct {
+	GoVersion string       `json:"go_version"`
+	GOOS      string       `json:"goos"`
+	GOARCH    string       `json:"goarch"`
+	NumCPU    int          `json:"num_cpu"`
+	Seed      uint64       `json:"seed"`
+	Cases     []PerfResult `json:"cases"`
+}
+
+// mix folds v into an FNV-1a style accumulator.
+func mix(h, v uint64) uint64 {
+	h ^= v
+	h *= 1099511628211
+	return h
+}
+
+const digestSeed = 14695981039346656037
+
+// perfCase runs one scenario and returns the simulated span and an
+// outcome digest.
+type perfCase struct {
+	id  string
+	run func(seed uint64) (simNS int64, score float64, digest uint64)
+}
+
+func perfGUPS(seed uint64) (int64, float64, uint64) {
+	h := newHeMem()
+	mc := machine.DefaultConfig()
+	mc.Seed = seed
+	m := machine.New(mc, h)
+	g := gups.New(m, gups.Config{
+		Threads: 16, WorkingSet: 512 * sim.GB, HotSet: 16 * sim.GB, Seed: 17,
+	})
+	m.Warm()
+	m.Run(10 * sim.Second)
+	g.ResetScore()
+	m.Run(5 * sim.Second)
+	d := uint64(digestSeed)
+	d = mix(d, math.Float64bits(g.Score()))
+	d = mix(d, uint64(m.Faults()))
+	d = mix(d, uint64(m.Migrator.Stats().Pages))
+	d = mix(d, math.Float64bits(m.Migrator.Stats().Bytes))
+	d = mix(d, math.Float64bits(m.TotalOps("gups")))
+	return m.Clock.Now(), g.Score(), d
+}
+
+func perfKVS(seed uint64) (int64, float64, uint64) {
+	h := newHeMem()
+	mc := machine.DefaultConfig()
+	mc.Seed = seed
+	m := machine.New(mc, h)
+	tel := m.EnableTelemetry(100 * sim.Millisecond)
+	d := kvs.NewDriver(m, kvs.DriverConfig{
+		WorkingSet: 300 * sim.GB, HotKeyFrac: 0.2, HotTrafficFrac: 0.9, Seed: 17,
+	})
+	m.Warm()
+	m.Run(10 * sim.Second)
+	var sink countingWriter
+	tel.WriteCSV(&sink)
+	dg := uint64(digestSeed)
+	dg = mix(dg, math.Float64bits(d.Mops()))
+	dg = mix(dg, uint64(m.Migrator.Stats().Pages))
+	dg = mix(dg, uint64(sink.n))
+	return m.Clock.Now(), d.Mops(), dg
+}
+
+func perfGAP(seed uint64) (int64, float64, uint64) {
+	h := newHeMem()
+	mc := machine.DefaultConfig()
+	mc.Seed = seed
+	m := machine.New(mc, h)
+	d := gap.NewDriver(m, gap.DriverConfig{
+		Scale: 28, Iterations: 3, EdgeVisitScale: 0.05, Seed: 17,
+	})
+	m.Warm()
+	m.RunUntilDone(20000 * sim.Second)
+	times := d.IterationTimes()
+	dg := uint64(digestSeed)
+	var last float64
+	for _, t := range times {
+		dg = mix(dg, uint64(t))
+		last = float64(t) / 1e9
+	}
+	dg = mix(dg, uint64(m.Migrator.Stats().Pages))
+	return m.Clock.Now(), last, dg
+}
+
+type countingWriter struct{ n int }
+
+func (c *countingWriter) Write(p []byte) (int, error) { c.n += len(p); return len(p), nil }
+
+var perfCases = []perfCase{
+	{"gups", perfGUPS},
+	{"kvs", perfKVS},
+	{"gap-bc", perfGAP},
+}
+
+// RunPerf executes every perf scenario twice — once to check seeded
+// determinism, once timed with allocation accounting — and returns the
+// report.
+func RunPerf(o Opts) PerfReport {
+	rep := PerfReport{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Seed:      o.seed(),
+	}
+	for _, c := range perfCases {
+		_, _, d0 := c.run(o.seed())
+
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		simNS, score, d1 := c.run(o.seed())
+		wall := time.Since(start).Seconds()
+		runtime.ReadMemStats(&after)
+
+		rep.Cases = append(rep.Cases, PerfResult{
+			ID:            c.id,
+			WallSeconds:   wall,
+			SimulatedNS:   simNS,
+			SimNSPerSec:   float64(simNS) / wall,
+			Allocs:        after.Mallocs - before.Mallocs,
+			AllocBytes:    after.TotalAlloc - before.TotalAlloc,
+			Score:         score,
+			Digest:        fmt.Sprintf("%016x", d1),
+			Deterministic: d0 == d1,
+		})
+	}
+	return rep
+}
+
+// WritePerf runs the harness and writes the JSON report plus a short
+// human-readable summary line per case.
+func WritePerf(jsonOut io.Writer, log io.Writer, o Opts) error {
+	rep := RunPerf(o)
+	for _, c := range rep.Cases {
+		det := "deterministic"
+		if !c.Deterministic {
+			det = "NON-DETERMINISTIC"
+		}
+		fmt.Fprintf(log, "%-8s %6.2fs wall  %8.2e sim-ns/s  %9d allocs  score=%.4g  %s\n",
+			c.ID, c.WallSeconds, c.SimNSPerSec, c.Allocs, c.Score, det)
+	}
+	enc := json.NewEncoder(jsonOut)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

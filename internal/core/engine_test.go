@@ -35,7 +35,7 @@ func feed(m *machine.Machine, h *HeMem, id vm.PageID, kind pebs.Kind, n int) {
 func TestClassifierHotOnReadThreshold(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.FreeDRAMTarget = 0
-	cfg.CoolingEnabled = false
+	cfg.NoCooling = true
 	m, h, r := smallMachine(cfg)
 	nvmPage := r.Pages[40] // beyond the 32 DRAM pages
 	if nvmPage.Tier != vm.TierNVM {
@@ -53,7 +53,7 @@ func TestClassifierHotOnReadThreshold(t *testing.T) {
 
 func TestClassifierWriteThresholdIsHalf(t *testing.T) {
 	cfg := DefaultConfig()
-	cfg.CoolingEnabled = false
+	cfg.NoCooling = true
 	m, h, r := smallMachine(cfg)
 	p := r.Pages[40]
 	feed(m, h, p.ID, pebs.Store, cfg.HotWriteThreshold)

@@ -39,20 +39,21 @@ type Config struct {
 	// smaller allocations are forwarded to the kernel and stay in DRAM
 	// (paper: 1 GB).
 	LargeAllocThreshold int64
-	// UseDMA selects the I/OAT engine; false uses CopyThreads copy
-	// threads instead.
-	UseDMA bool
+	// NoDMA disables the I/OAT engine, copying with CopyThreads copy
+	// threads instead (the paper's Figure 7 ablation). The switches
+	// below are inverted so the zero value is the paper default and a
+	// partially filled Config keeps full paper behavior.
+	NoDMA bool
 	// CopyThreads is the software-copy thread count (paper: 4).
 	CopyThreads int
-	// WritePriority enables write-heavy page prioritization (§3.3);
-	// disabling it is an ablation.
-	WritePriority bool
-	// CoolingEnabled enables the cooling clock; disabling it is an
-	// ablation.
-	CoolingEnabled bool
-	// MigrationEnabled allows the policy to move pages (Figure 8's
-	// "PEBS" bar disables it to isolate sampling overhead).
-	MigrationEnabled bool
+	// NoWritePriority disables write-heavy page prioritization (§3.3)
+	// as an ablation.
+	NoWritePriority bool
+	// NoCooling disables the cooling clock as an ablation.
+	NoCooling bool
+	// NoMigration stops the policy from moving pages (Figure 8's
+	// "PEBS" bar uses it to isolate sampling overhead).
+	NoMigration bool
 	// BackgroundThreads is the core cost of HeMem's PEBS, policy, and
 	// fault threads while the manager runs.
 	BackgroundThreads float64
@@ -95,11 +96,7 @@ func DefaultConfig() Config {
 		FreeDRAMTarget:      1 * sim.GB,
 		MigRateCap:          sim.GBps(10),
 		LargeAllocThreshold: 1 * sim.GB,
-		UseDMA:              true,
 		CopyThreads:         4,
-		WritePriority:       true,
-		CoolingEnabled:      true,
-		MigrationEnabled:    true,
 		BackgroundThreads:   2.5,
 		FreeNVMTarget:       1 * sim.GB,
 	}
@@ -179,12 +176,28 @@ type HeMem struct {
 	nvmHot, nvmCold   List
 	diskCold          List // swapped-out pages (EnableSwap)
 
-	clock      uint64 // global cooling clock
-	dramUsed   int64  // bytes placed in DRAM (committed, incl. in-flight)
-	nvmUsed    int64
-	pinned     map[*vm.Region]bool
-	managed    map[*vm.Region]bool // growth-promoted regions
-	diskCursor map[*vm.PageSet]int
+	clock    uint64 // global cooling clock
+	dramUsed int64  // bytes placed in DRAM (committed, incl. in-flight)
+	nvmUsed  int64
+	// pinned, managed, and released are indexed by Region.ID (dense
+	// per-address-space), replacing pointer-keyed maps on the page-in and
+	// policy hot paths.
+	pinned   []bool
+	managed  []bool // growth-promoted regions
+	released []bool
+	// diskCursor is indexed by the machine's rate-set order (the same
+	// index swapPolicy iterates), replacing a map keyed by *vm.PageSet.
+	diskCursor []int
+
+	// piSlabs bulk-allocates PageInfo in chunks: tracking a 512 GB
+	// region means ~260k PageInfos, and allocating each individually is
+	// pure GC scan load. Pointers into a slab stay valid because slabs
+	// are never resized, only appended.
+	piSlab []PageInfo
+
+	// recScratch is the reusable record batch the PEBS reader drains
+	// into each quantum.
+	recScratch []pebs.Record
 
 	// Adaptive-sampling state: buffer counters at the last policy tick
 	// and the current run of overrunning ticks.
@@ -197,11 +210,45 @@ type HeMem struct {
 
 // New creates a HeMem manager with cfg (zero value gets defaults; call
 // Config.Validate to detect invalid negative parameters beforehand).
+// Unset (zero) fields fall back to DefaultConfig field-by-field, so a
+// caller that sets only the knobs it cares about keeps them:
+// historically HotReadThreshold == 0 silently replaced the entire config
+// with the defaults, clobbering every field the caller did set. The
+// ablation switches are spelled so that false is the paper default
+// (NoDMA, NoWritePriority, NoCooling, NoMigration), which keeps partial
+// configs on full paper behavior without a sentinel.
 func New(cfg Config) *HeMem {
-	if cfg.HotReadThreshold == 0 {
-		cfg = DefaultConfig()
-	}
 	def := DefaultConfig()
+	if cfg.HotReadThreshold == 0 {
+		cfg.HotReadThreshold = def.HotReadThreshold
+	}
+	if cfg.HotWriteThreshold == 0 {
+		cfg.HotWriteThreshold = def.HotWriteThreshold
+	}
+	if cfg.CoolThreshold == 0 {
+		cfg.CoolThreshold = def.CoolThreshold
+	}
+	if cfg.PolicyInterval == 0 {
+		cfg.PolicyInterval = def.PolicyInterval
+	}
+	if cfg.FreeDRAMTarget == 0 {
+		cfg.FreeDRAMTarget = def.FreeDRAMTarget
+	}
+	if cfg.MigRateCap == 0 {
+		cfg.MigRateCap = def.MigRateCap
+	}
+	if cfg.LargeAllocThreshold == 0 {
+		cfg.LargeAllocThreshold = def.LargeAllocThreshold
+	}
+	if cfg.CopyThreads == 0 {
+		cfg.CopyThreads = def.CopyThreads
+	}
+	if cfg.BackgroundThreads == 0 {
+		cfg.BackgroundThreads = def.BackgroundThreads
+	}
+	if cfg.FreeNVMTarget == 0 {
+		cfg.FreeNVMTarget = def.FreeNVMTarget
+	}
 	if cfg.PEBSBufferCap <= 0 {
 		cfg.PEBSBufferCap = def.PEBSBufferCap
 	}
@@ -258,7 +305,7 @@ func (h *HeMem) Buffer() *pebs.Buffer { return h.buffer }
 func (h *HeMem) Attach(m *machine.Machine) {
 	h.m = m
 	m.Migrator.RateCap = h.cfg.MigRateCap
-	if h.cfg.UseDMA {
+	if !h.cfg.NoDMA {
 		m.Migrator.SetBackend(machine.DMABackend{Engine: dma.New(dma.DefaultConfig())})
 	} else {
 		m.Migrator.SetBackend(machine.ThreadBackend{Copier: dma.NewThreadCopier(h.cfg.CopyThreads)})
@@ -279,14 +326,35 @@ func (h *HeMem) info(id vm.PageID) *PageInfo {
 	return h.pages[id]
 }
 
-// track creates tracking state for a managed page.
+// piSlabSize is the PageInfo arena chunk size; see HeMem.piSlab.
+const piSlabSize = 4096
+
+// track creates tracking state for a managed page. PageInfos come from
+// append-only slabs so that tracking hundreds of thousands of pages costs
+// hundreds of allocations, not one per page; a slab is never resized, so
+// pointers into it stay valid.
 func (h *HeMem) track(p *vm.Page) *PageInfo {
 	for int(p.ID) >= len(h.pages) {
 		h.pages = append(h.pages, nil)
 	}
-	pi := &PageInfo{Page: p, CoolClock: h.clock}
+	if len(h.piSlab) == cap(h.piSlab) {
+		h.piSlab = make([]PageInfo, 0, piSlabSize)
+	}
+	h.piSlab = append(h.piSlab, PageInfo{Page: p, CoolClock: h.clock})
+	pi := &h.piSlab[len(h.piSlab)-1]
 	h.pages[p.ID] = pi
 	return pi
+}
+
+// regionFlag reads a Region.ID-indexed boolean.
+func regionFlag(flags []bool, id int) bool { return id < len(flags) && flags[id] }
+
+// setRegionFlag sets a Region.ID-indexed boolean, growing the slice.
+func setRegionFlag(flags *[]bool, id int, v bool) {
+	for id >= len(*flags) {
+		*flags = append(*flags, false)
+	}
+	(*flags)[id] = v
 }
 
 // Manage begins tracking a region that was previously left to the kernel:
@@ -295,13 +363,10 @@ func (h *HeMem) track(p *vm.Page) *PageInfo {
 // crossed", §3.3). Already-placed pages enter the cold list of their
 // current tier; untouched pages will be placed on first touch.
 func (h *HeMem) Manage(r *vm.Region) {
-	if h.managed == nil {
-		h.managed = make(map[*vm.Region]bool)
-	}
-	if h.managed[r] {
+	if regionFlag(h.managed, r.ID) {
 		return
 	}
-	h.managed[r] = true
+	setRegionFlag(&h.managed, r.ID, true)
 	for _, p := range r.Pages {
 		if p.Tier == vm.TierNone || h.info(p.ID) != nil {
 			continue
@@ -314,10 +379,13 @@ func (h *HeMem) Manage(r *vm.Region) {
 // Managed reports whether r is under HeMem management (either because it
 // was mapped large or because growth tracking promoted it).
 func (h *HeMem) Managed(r *vm.Region) bool {
-	if h.managed[r] {
+	if regionFlag(h.managed, r.ID) {
 		return true
 	}
-	return r.Size() >= h.cfg.LargeAllocThreshold && !h.pinned[r]
+	if regionFlag(h.released, r.ID) {
+		return false
+	}
+	return r.Size() >= h.cfg.LargeAllocThreshold && !regionFlag(h.pinned, r.ID)
 }
 
 // PinRegion marks a region as pinned to DRAM: its pages are always
@@ -325,11 +393,60 @@ func (h *HeMem) Managed(r *vm.Region) bool {
 // flexibility at work — the paper's priority FlexKVS instance keeps all of
 // its key-value pairs in DRAM this way (§5.2.2, Table 4).
 func (h *HeMem) PinRegion(r *vm.Region) {
-	if h.pinned == nil {
-		h.pinned = make(map[*vm.Region]bool)
-	}
-	h.pinned[r] = true
+	setRegionFlag(&h.pinned, r.ID, true)
 }
+
+// Release undoes all tracking and accounting for region r: its pages
+// leave the FIFO lists, in-flight migrations are cancelled (undoing their
+// enqueue-time commitments), and the committed DRAM/NVM bytes return to
+// the free pools. It implements machine.Releaser, backing
+// machine.Machine.Unmap — without it a long-running multi-tenant machine
+// leaks committed bytes on every region teardown and eventually refuses
+// DRAM placement.
+func (h *HeMem) Release(r *vm.Region) {
+	if regionFlag(h.released, r.ID) {
+		return
+	}
+	setRegionFlag(&h.released, r.ID, true)
+	ps := h.m.Cfg.PageSize
+	for _, p := range r.Pages {
+		if p.Migrating {
+			if dst, ok := h.m.Migrator.Cancel(p); ok {
+				// Undo the enqueue-time accounting exactly as
+				// OnMigrationFailed would.
+				switch {
+				case dst == vm.TierDRAM && p.Tier == vm.TierNVM:
+					h.dramUsed -= ps
+					h.nvmUsed += ps
+				case dst == vm.TierNVM && p.Tier == vm.TierDRAM:
+					h.dramUsed += ps
+					h.nvmUsed -= ps
+				case dst == vm.TierNVM && p.Tier == vm.TierDisk:
+					h.nvmUsed -= ps
+				case dst == vm.TierDisk && p.Tier == vm.TierNVM:
+					h.nvmUsed += ps
+				}
+			}
+		}
+		if pi := h.info(p.ID); pi != nil {
+			if pi.list != nil {
+				pi.list.Remove(pi)
+			}
+			h.pages[p.ID] = nil
+		}
+		switch p.Tier {
+		case vm.TierDRAM:
+			h.dramUsed -= ps
+		case vm.TierNVM:
+			h.nvmUsed -= ps
+		}
+	}
+	setRegionFlag(&h.pinned, r.ID, false)
+	setRegionFlag(&h.managed, r.ID, false)
+}
+
+// NVMUsed returns committed NVM bytes.
+func (h *HeMem) NVMUsed() int64 { return h.nvmUsed }
 
 // PageIn implements machine.Manager: the userfaultfd page-missing path.
 // Pinned and small regions stay in DRAM untracked; large regions are
@@ -337,12 +454,12 @@ func (h *HeMem) PinRegion(r *vm.Region) {
 // otherwise (§3.3).
 func (h *HeMem) PageIn(p *vm.Page) {
 	ps := h.m.Cfg.PageSize
-	if h.pinned[p.Region] {
+	if regionFlag(h.pinned, p.Region.ID) {
 		h.dramUsed += ps
 		p.SetTier(vm.TierDRAM)
 		return
 	}
-	if p.Region.Size() < h.cfg.LargeAllocThreshold && !h.managed[p.Region] {
+	if p.Region.Size() < h.cfg.LargeAllocThreshold && !regionFlag(h.managed, p.Region.ID) {
 		// Kernel-managed small allocation: keep in DRAM if at all
 		// possible.
 		if h.dramUsed+ps <= h.m.Cfg.DRAMSize {
@@ -375,9 +492,25 @@ func (h *HeMem) PageIn(p *vm.Page) {
 }
 
 // OnQuantum implements machine.Manager: the PEBS thread drains the sample
-// buffer at its bounded rate and classifies each record.
+// buffer at its bounded rate and classifies each record. Records are
+// popped in batches into a reusable scratch slice so the per-sample path
+// involves no allocation and no indirect call.
 func (h *HeMem) OnQuantum(now, dt int64) {
-	h.reader.Drain(h.buffer, dt, h.onSample)
+	if h.recScratch == nil {
+		h.recScratch = make([]pebs.Record, 1024)
+	}
+	grant := dt
+	for {
+		n := h.reader.DrainBatch(h.buffer, grant, h.recScratch)
+		grant = 0
+		for i := 0; i < n; i++ {
+			h.onSample(h.recScratch[i])
+		}
+		if n < len(h.recScratch) {
+			break
+		}
+	}
+	h.reader.Settle(dt)
 }
 
 // ActiveThreads implements machine.Manager.
@@ -393,7 +526,7 @@ func (h *HeMem) onSample(rec pebs.Record) {
 	}
 	h.stats.Samples++
 
-	if h.cfg.CoolingEnabled && pi.CoolClock != h.clock {
+	if !h.cfg.NoCooling && pi.CoolClock != h.clock {
 		h.cool(pi)
 	}
 
@@ -406,7 +539,7 @@ func (h *HeMem) onSample(rec pebs.Record) {
 	// Advance the global cooling clock when any page accumulates the
 	// cooling threshold of samples; other pages cool lazily when next
 	// sampled (§3.1).
-	if h.cfg.CoolingEnabled && pi.Reads+pi.Writes >= h.cfg.CoolThreshold {
+	if !h.cfg.NoCooling && pi.Reads+pi.Writes >= h.cfg.CoolThreshold {
 		h.clock++
 		h.stats.CoolEpochs++
 		h.cool(pi)
@@ -473,7 +606,7 @@ func (h *HeMem) classify(pi *PageInfo) {
 	if pi.list == nil {
 		return // in flight; re-listed on migration completion
 	}
-	writeHeavy := h.cfg.WritePriority && pi.Writes >= h.cfg.HotWriteThreshold
+	writeHeavy := !h.cfg.NoWritePriority && pi.Writes >= h.cfg.HotWriteThreshold
 	if writeHeavy && !pi.WriteHeavy {
 		pi.WriteHeavy = true
 		h.hotList(pi.Page.Tier).PushFront(pi)
@@ -496,7 +629,7 @@ func (h *HeMem) policy() {
 	if h.cfg.AdaptiveSampling {
 		h.adaptSampling()
 	}
-	if !h.cfg.MigrationEnabled {
+	if h.cfg.NoMigration {
 		return
 	}
 	ps := h.m.Cfg.PageSize
@@ -604,7 +737,7 @@ func (h *HeMem) nvmFree() int64 { return h.m.Cfg.NVMSize - h.nvmUsed }
 func (h *HeMem) swapPolicy(budget int64) int64 {
 	ps := h.m.Cfg.PageSize
 	// Swap-in: walk sets with live traffic and disk-resident pages.
-	for _, set := range h.m.RateSets() {
+	for si, set := range h.m.RateSets() {
 		r := h.m.Rates(set)
 		if r.ReadRate+r.WriteRate == 0 || set.Count(vm.TierDisk) == 0 {
 			continue
@@ -623,7 +756,7 @@ func (h *HeMem) swapPolicy(budget int64) int64 {
 				h.stats.SwapOuts++
 				budget -= ps
 			}
-			p := h.pickDisk(set)
+			p := h.pickDisk(si, set)
 			if p == nil {
 				break
 			}
@@ -654,17 +787,19 @@ func (h *HeMem) swapPolicy(budget int64) int64 {
 	return budget
 }
 
-// pickDisk returns a non-migrating disk-resident page of set.
-func (h *HeMem) pickDisk(set *vm.PageSet) *vm.Page {
+// pickDisk returns a non-migrating disk-resident page of set. si is the
+// set's index in the machine's rate-set order, which keys the per-set
+// round-robin cursor.
+func (h *HeMem) pickDisk(si int, set *vm.PageSet) *vm.Page {
 	n := set.Len()
-	cur := h.diskCursor[set]
+	for si >= len(h.diskCursor) {
+		h.diskCursor = append(h.diskCursor, 0)
+	}
+	cur := h.diskCursor[si]
 	for i := 0; i < n; i++ {
 		p := set.Page((cur + i) % n)
 		if p.Tier == vm.TierDisk && !p.Migrating {
-			if h.diskCursor == nil {
-				h.diskCursor = make(map[*vm.PageSet]int)
-			}
-			h.diskCursor[set] = (cur + i + 1) % n
+			h.diskCursor[si] = (cur + i + 1) % n
 			return p
 		}
 	}

@@ -142,7 +142,7 @@ func TestWritePriorityOrdering(t *testing.T) {
 func TestWritePriorityAblation(t *testing.T) {
 	run := func(priority bool) float64 {
 		cfg := core.DefaultConfig()
-		cfg.WritePriority = priority
+		cfg.NoWritePriority = !priority
 		m, _ := newHeMemMachine(cfg)
 		g := gups.New(m, gups.Config{
 			Threads: 16, WorkingSet: 512 * sim.GB, HotSet: 256 * sim.GB,
@@ -163,7 +163,7 @@ func TestWritePriorityAblation(t *testing.T) {
 // change.
 func TestMigrationDisabled(t *testing.T) {
 	cfg := core.DefaultConfig()
-	cfg.MigrationEnabled = false
+	cfg.NoMigration = true
 	m, h := newHeMemMachine(cfg)
 	g := gups.New(m, gups.Config{
 		Threads: 16, WorkingSet: 512 * sim.GB, HotSet: 16 * sim.GB, Seed: 2,
@@ -225,4 +225,114 @@ func TestZeroConfigGetsDefaults(t *testing.T) {
 	if h.Config().HotReadThreshold != 8 || h.Config().CoolThreshold != 18 {
 		t.Fatal("zero config did not default")
 	}
+}
+
+// Regression: a partial Config used to be replaced wholesale by
+// DefaultConfig whenever HotReadThreshold was left zero, silently
+// discarding every field the caller did set. Unset fields must default
+// individually instead.
+func TestPartialConfigKeepsCallerFields(t *testing.T) {
+	def := core.DefaultConfig()
+	cfg := core.Config{
+		SamplePeriod:   def.SamplePeriod * 2,
+		PolicyInterval: 7 * sim.Millisecond,
+		MigRateCap:     sim.GBps(3),
+	}
+	got := core.New(cfg).Config()
+	if got.SamplePeriod != def.SamplePeriod*2 {
+		t.Errorf("SamplePeriod = %v, want caller's %v", got.SamplePeriod, def.SamplePeriod*2)
+	}
+	if got.PolicyInterval != 7*sim.Millisecond {
+		t.Errorf("PolicyInterval = %v, want caller's %v", got.PolicyInterval, 7*sim.Millisecond)
+	}
+	if got.MigRateCap != sim.GBps(3) {
+		t.Errorf("MigRateCap = %v, want caller's %v", got.MigRateCap, sim.GBps(3))
+	}
+	// Fields the caller left zero still pick up paper defaults.
+	if got.HotReadThreshold != def.HotReadThreshold {
+		t.Errorf("HotReadThreshold = %v, want default %v", got.HotReadThreshold, def.HotReadThreshold)
+	}
+	if got.CoolThreshold != def.CoolThreshold {
+		t.Errorf("CoolThreshold = %v, want default %v", got.CoolThreshold, def.CoolThreshold)
+	}
+	if got.FreeDRAMTarget != def.FreeDRAMTarget {
+		t.Errorf("FreeDRAMTarget = %v, want default %v", got.FreeDRAMTarget, def.FreeDRAMTarget)
+	}
+	// The ablation switches are inverted so that a partial config keeps
+	// full paper behavior: migration, cooling, write priority, and DMA
+	// all stay on.
+	if got.NoMigration || got.NoCooling || got.NoWritePriority || got.NoDMA {
+		t.Errorf("partial config disabled paper-default behavior: %+v", got)
+	}
+	// And an explicit ablation on a partial config survives defaulting.
+	abl := core.New(core.Config{SamplePeriod: 2500, NoMigration: true}).Config()
+	if !abl.NoMigration {
+		t.Error("explicit NoMigration lost in defaulting")
+	}
+	if abl.SamplePeriod != 2500 || abl.HotReadThreshold != def.HotReadThreshold {
+		t.Errorf("ablation config misdefaulted: %+v", abl)
+	}
+}
+
+// Releasing a region must return its committed bytes: dramUsed/nvmUsed
+// previously only ever grew, so a multi-tenant machine that unmapped a
+// tenant leaked its footprint forever and later tenants were refused
+// DRAM placement.
+func TestReleaseReturnsAccounting(t *testing.T) {
+	m, h := newHeMemMachine(core.DefaultConfig())
+	tenant := m.AS.Map("tenant", 256*sim.GB) // overflows 192 GB DRAM into NVM
+	m.Warm()
+	if h.DRAMUsed() != m.Cfg.DRAMSize || h.NVMUsed() != 256*sim.GB-m.Cfg.DRAMSize {
+		t.Fatalf("pre-release accounting: dram=%d nvm=%d", h.DRAMUsed(), h.NVMUsed())
+	}
+	m.Unmap(tenant)
+	if h.DRAMUsed() != 0 || h.NVMUsed() != 0 {
+		t.Fatalf("release leaked: dram=%d nvm=%d", h.DRAMUsed(), h.NVMUsed())
+	}
+	if h.HotBytes(vm.TierDRAM)+h.ColdBytes(vm.TierDRAM)+
+		h.HotBytes(vm.TierNVM)+h.ColdBytes(vm.TierNVM) != 0 {
+		t.Fatal("release left pages on FIFO lists")
+	}
+	// A successor tenant gets the freed DRAM back.
+	next := m.AS.Map("next", 64*sim.GB)
+	m.Warm()
+	if next.Frac(vm.TierDRAM) != 1 {
+		t.Fatalf("successor tenant DRAM frac = %v, want 1", next.Frac(vm.TierDRAM))
+	}
+	m.Unmap(next)
+	if h.DRAMUsed() != 0 || h.NVMUsed() != 0 {
+		t.Fatalf("second release leaked: dram=%d nvm=%d", h.DRAMUsed(), h.NVMUsed())
+	}
+}
+
+// Release with traffic still running: in-flight migrations are cancelled
+// and their enqueue-time commitments undone, so accounting lands exactly
+// on the surviving region's footprint.
+func TestReleaseCancelsInFlightMigrations(t *testing.T) {
+	m, h := newHeMemMachine(core.DefaultConfig())
+	victim := m.AS.Map("victim", 200*sim.GB)
+	m.AS.Map("keeper", 64*sim.GB)
+	g := gups.New(m, gups.Config{Threads: 16, WorkingSet: 64 * sim.GB, HotSet: 8 * sim.GB, Seed: 11})
+	_ = g
+	m.Warm()
+	m.Run(3 * sim.Second) // migrations in flight between tiers
+	m.Unmap(victim)
+	// Accounting must land on the surviving regions' footprint (keeper
+	// plus the GUPS workload's own mapping). Pages still migrating carry
+	// enqueue-time commitments that shift bytes between the two counters,
+	// so each counter may diverge by up to the queue depth — but the sum
+	// is exact, and any victim leak would break it.
+	var wantDRAM, wantNVM int64
+	for _, r := range m.AS.Regions {
+		wantDRAM += r.Bytes(vm.TierDRAM)
+		wantNVM += r.Bytes(vm.TierNVM)
+	}
+	if got, want := h.DRAMUsed()+h.NVMUsed(), wantDRAM+wantNVM; got != want {
+		t.Fatalf("DRAM+NVM accounting = %d after release, want surviving %d", got, want)
+	}
+	slack := int64(m.Migrator.QueueLen()) * m.Cfg.PageSize
+	if diff := h.DRAMUsed() - wantDRAM; diff < -slack || diff > slack {
+		t.Fatalf("DRAMUsed = %d, want %d within %d queue slack", h.DRAMUsed(), wantDRAM, slack)
+	}
+	m.Run(2 * sim.Second) // machine keeps running after the teardown
 }

@@ -91,7 +91,7 @@ func TestSwapInOnTraffic(t *testing.T) {
 func TestSwapManagedBeatsFrozen(t *testing.T) {
 	run := func(migrate bool) float64 {
 		cfg := swapConfig()
-		cfg.MigrationEnabled = migrate
+		cfg.NoMigration = !migrate
 		h := core.New(cfg)
 		m := machine.New(machine.DefaultConfig(), h)
 		g := gups.New(m, gups.Config{

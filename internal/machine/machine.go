@@ -128,6 +128,24 @@ type Manager interface {
 	ActiveThreads() float64
 }
 
+// wstate is the per-quantum solver state for one running workload; the
+// machine keeps a reusable slice of these so Step allocates nothing.
+type wstate struct {
+	w     Workload
+	comps []Component
+	costs []CompCost
+	rate  float64 // ops/ns
+	time  float64 // per-op ns (at achieved rate)
+}
+
+// Releaser is implemented by managers that support region teardown:
+// Release must drop all tracking state for the region and return its
+// committed memory to the free pools. Machine.Unmap calls it before
+// removing the region from the address space.
+type Releaser interface {
+	Release(r *vm.Region)
+}
+
 // CostModeler is implemented by managers that price traffic themselves
 // (Memory Mode's DRAM cache). Managers that don't implement it get the
 // default placement-based model.
@@ -304,6 +322,12 @@ type Machine struct {
 	// by managers during the current quantum.
 	stall int64
 
+	// Per-quantum solver scratch, reused across Step calls so the hot
+	// loop does not allocate per quantum.
+	ws       []wstate
+	obsComps []Component
+	obsRates []float64
+
 	// Metrics
 	throughput map[string]*sim.Series // ops/s per workload over time
 	telemetry  *Telemetry
@@ -407,6 +431,18 @@ func (m *Machine) Warm() {
 // Faults returns the number of page-missing faults taken so far.
 func (m *Machine) Faults() int64 { return m.faults }
 
+// Unmap tears down region r (munmap): the manager releases its tracking
+// and accounting (if it implements Releaser), the pages leave every page
+// set they were in, and the region is removed from the address space.
+// Without this path, committed DRAM/NVM bytes leak on every region
+// teardown in a long-running multi-tenant machine.
+func (m *Machine) Unmap(r *vm.Region) {
+	if rel, ok := m.Mgr.(Releaser); ok {
+		rel.Release(r)
+	}
+	m.AS.Unmap(r)
+}
+
 // Throughput returns the recorded ops/s series for workload name.
 func (m *Machine) Throughput(name string) *sim.Series { return m.throughput[name] }
 
@@ -457,22 +493,23 @@ func (m *Machine) Step(dt int64) {
 	m.Migrator.advance(now, dt)
 	migMoved := m.Migrator.planned(dt)
 
-	type wstate struct {
-		w     Workload
-		comps []Component
-		costs []CompCost
-		rate  float64 // ops/ns
-		time  float64 // per-op ns (at achieved rate)
-	}
-	var ws []wstate
+	m.ws = m.ws[:0]
 	appThreads := 0
 	for _, w := range m.Workloads {
 		if w.Done() {
 			continue
 		}
-		ws = append(ws, wstate{w: w, comps: w.Components()})
+		// Grow in place, keeping each slot's costs slice capacity.
+		if n := len(m.ws); n < cap(m.ws) {
+			m.ws = m.ws[:n+1]
+		} else {
+			m.ws = append(m.ws, wstate{})
+		}
+		s := &m.ws[len(m.ws)-1]
+		s.w, s.comps, s.rate, s.time = w, w.Components(), 0, 0
 		appThreads += w.Threads()
 	}
+	ws := m.ws
 
 	// CPU share: application threads contend with manager background
 	// threads and migration copy threads for cores.
@@ -511,7 +548,11 @@ func (m *Machine) Step(dt int64) {
 	stallFrac := float64(stallNow) / float64(dt)
 	for i := range ws {
 		s := &ws[i]
-		s.costs = make([]CompCost, len(s.comps))
+		if cap(s.costs) < len(s.comps) {
+			s.costs = make([]CompCost, len(s.comps))
+		} else {
+			s.costs = s.costs[:len(s.comps)]
+		}
 		var opTime float64
 		if comp, ok := s.w.(Computes); ok {
 			opTime += comp.ComputePerOp()
@@ -569,8 +610,8 @@ func (m *Machine) Step(dt int64) {
 
 	// Commit: ops, wear, PEBS, access integrals.
 	ss, _ := m.Mgr.(SampleSource)
-	var obsComps []Component
-	var obsRates []float64
+	obsComps := m.obsComps[:0]
+	obsRates := m.obsRates[:0]
 	obs, observing := m.Mgr.(TrafficObserver)
 	for i := range ws {
 		s := &ws[i]
@@ -616,6 +657,7 @@ func (m *Machine) Step(dt int64) {
 	if observing {
 		obs.ObserveTraffic(now, obsComps, obsRates)
 	}
+	m.obsComps, m.obsRates = obsComps, obsRates
 	m.Mgr.OnQuantum(now, dt)
 
 	// Record instantaneous throughput periodically.
@@ -634,30 +676,32 @@ func (m *Machine) Step(dt int64) {
 
 // feedSamples converts a component's traffic into PEBS records: one load
 // event per cache line read and one store event per cache line written,
-// sampled at the manager's configured period.
+// sampled at the manager's configured period. Records are generated in
+// batches (Sampler.Take) and pushed directly, with no closure per sample;
+// the RNG is consumed in exactly the order the per-sample callback API
+// did, so seeded runs stay bit-identical.
 func (m *Machine) feedSamples(s *pebs.Sampler, c Component, occ float64) {
-	pick := func(store bool) pebs.Record {
-		p := c.Set.Page(m.Rng.Intn(c.Set.Len()))
-		k := pebs.LoadDRAM
-		if store {
-			k = pebs.Store
-		} else if p.Tier != vm.TierDRAM {
-			k = pebs.LoadNVM
-		}
-		return pebs.Record{Page: p.ID, Kind: k}
-	}
 	// PEBS storm episodes multiply the sample inflow (counter
 	// misconfiguration / interrupt pressure); the factor is 1 outside
 	// storms and the multiply is skipped entirely then, keeping fault-free
 	// arithmetic bit-identical.
 	loadF := m.Injector.PEBSLoadFactor()
+	buf := s.Buffer()
+	setLen := c.Set.Len()
 	if c.ReadBytes > 0 {
 		lines := math.Ceil(float64(c.ReadBytes) / 64)
 		n := occ * lines
 		if loadF != 1 {
 			n *= loadF
 		}
-		s.Feed(n, pebs.ClassLoad, func() pebs.Record { return pick(false) })
+		for k := s.Take(n, pebs.ClassLoad); k > 0; k-- {
+			p := c.Set.Page(m.Rng.Intn(setLen))
+			kind := pebs.LoadDRAM
+			if p.Tier != vm.TierDRAM {
+				kind = pebs.LoadNVM
+			}
+			buf.Push(pebs.Record{Page: p.ID, Kind: kind})
+		}
 	}
 	if c.WriteBytes > 0 {
 		lines := math.Ceil(float64(c.WriteBytes) / 64)
@@ -665,7 +709,10 @@ func (m *Machine) feedSamples(s *pebs.Sampler, c Component, occ float64) {
 		if loadF != 1 {
 			n *= loadF
 		}
-		s.Feed(n, pebs.ClassStore, func() pebs.Record { return pick(true) })
+		for k := s.Take(n, pebs.ClassStore); k > 0; k-- {
+			p := c.Set.Page(m.Rng.Intn(setLen))
+			buf.Push(pebs.Record{Page: p.ID, Kind: pebs.Store})
+		}
 	}
 }
 

@@ -88,6 +88,9 @@ type Migrator struct {
 
 	queue []*migReq
 	busy  bool
+	// free recycles completed migReq structs; sustained migration at
+	// policy-tick rates would otherwise allocate one per page move.
+	free []*migReq
 
 	lastMoved [devCount]moved // per direction (index: dst device)
 	stats     MigStats
@@ -109,6 +112,28 @@ func (g *Migrator) SetBackend(b CopyBackend) { g.backend = b }
 // Backend returns the current copy backend.
 func (g *Migrator) Backend() CopyBackend { return g.backend }
 
+// newReq takes a request from the freelist (or allocates one) and
+// initializes it.
+func (g *Migrator) newReq(p *vm.Page, dst vm.Tier, urgent bool) *migReq {
+	var req *migReq
+	if n := len(g.free); n > 0 {
+		req = g.free[n-1]
+		g.free[n-1] = nil
+		g.free = g.free[:n-1]
+		*req = migReq{}
+	} else {
+		req = &migReq{}
+	}
+	req.page, req.dst, req.urgent = p, dst, urgent
+	return req
+}
+
+// release returns a finished request to the freelist.
+func (g *Migrator) release(req *migReq) {
+	req.page = nil
+	g.free = append(g.free, req)
+}
+
 // Enqueue schedules page p to move to tier dst. Pages already migrating or
 // already in dst are ignored. The page is write-protected for the duration
 // of the copy (userfaultfd WP), which the simulation marks via
@@ -118,7 +143,7 @@ func (g *Migrator) Enqueue(p *vm.Page, dst vm.Tier) bool {
 		return false
 	}
 	p.Migrating = true
-	g.queue = append(g.queue, &migReq{page: p, dst: dst})
+	g.queue = append(g.queue, g.newReq(p, dst, false))
 	return true
 }
 
@@ -130,8 +155,29 @@ func (g *Migrator) EnqueueUrgent(p *vm.Page, dst vm.Tier) bool {
 		return false
 	}
 	p.Migrating = true
-	g.queue = append([]*migReq{{page: p, dst: dst, urgent: true}}, g.queue...)
+	g.queue = append(g.queue, nil)
+	copy(g.queue[1:], g.queue)
+	g.queue[0] = g.newReq(p, dst, true)
 	return true
+}
+
+// Cancel removes any queued migration of p without completing it: the
+// page stays in its source tier and its write protection is lifted. The
+// bytes of a partial copy attempt are discarded (wear stays charged — the
+// traffic really hit the media). It returns the destination tier of the
+// cancelled request so the manager can unwind enqueue-time accounting.
+func (g *Migrator) Cancel(p *vm.Page) (dst vm.Tier, cancelled bool) {
+	for i, req := range g.queue {
+		if req.page == p {
+			g.queue = append(g.queue[:i], g.queue[i+1:]...)
+			g.queue = g.queue[:len(g.queue):cap(g.queue)]
+			p.Migrating = false
+			dst = req.dst
+			g.release(req)
+			return dst, true
+		}
+	}
+	return vm.TierNone, false
 }
 
 // QueueLen returns the number of pages waiting to move.
@@ -186,11 +232,17 @@ func (g *Migrator) advance(now, dt int64) {
 	}
 	budget := rate * float64(dt)
 	ps := float64(g.m.Cfg.PageSize)
-	i := 0
-	for budget > 0 && i < len(g.queue) {
+	// Compact the queue in place: surviving requests slide to the front in
+	// order instead of paying an O(n) slice removal per completed page.
+	// finish may append retries to the tail mid-loop; they carry a future
+	// notBefore, so the sweep keeps them without reprocessing.
+	i, w := 0, 0
+	for i < len(g.queue) {
 		req := g.queue[i]
-		if req.notBefore > now {
-			i++
+		i++
+		if budget <= 0 || req.notBefore > now {
+			g.queue[w] = req
+			w++
 			continue
 		}
 		need := ps - req.done
@@ -202,10 +254,16 @@ func (g *Migrator) advance(now, dt int64) {
 		req.done += chunk
 		g.charge(req.page.Tier, req.dst, chunk)
 		if req.done >= ps {
-			g.queue = append(g.queue[:i], g.queue[i+1:]...)
 			g.finish(req, now)
+		} else {
+			g.queue[w] = req
+			w++
 		}
 	}
+	for j := w; j < len(g.queue); j++ {
+		g.queue[j] = nil
+	}
+	g.queue = g.queue[:w]
 	if len(g.queue) == 0 {
 		g.busy = false
 	}
@@ -246,9 +304,11 @@ func (g *Migrator) abort(req *migReq, now int64) {
 	req.attempts++
 	if req.attempts > g.m.Injector.MaxRetries() {
 		st.MigrationsAbandoned++
-		req.page.Migrating = false
+		page, dst := req.page, req.dst
+		page.Migrating = false
+		g.release(req)
 		if obs, ok := g.m.Mgr.(MigrationFailureObserver); ok {
-			obs.OnMigrationFailed(req.page, req.dst)
+			obs.OnMigrationFailed(page, dst)
 		}
 		return
 	}
@@ -265,10 +325,12 @@ func (g *Migrator) complete(req *migReq) {
 		g.stats.Demotions++
 	}
 	g.stats.Pages++
-	req.page.SetTier(req.dst)
-	req.page.Migrating = false
+	page := req.page
+	page.SetTier(req.dst)
+	page.Migrating = false
+	g.release(req)
 	if obs, ok := g.m.Mgr.(MigrationObserver); ok {
-		obs.OnMigrated(req.page)
+		obs.OnMigrated(page)
 	}
 }
 

@@ -104,6 +104,9 @@ func (t *Telemetry) sample(m *Machine, now int64, stallFrac float64) {
 	t.get("migration.queue.pages").Append(now, float64(m.Migrator.QueueLen()))
 	t.get("migration.total.gb").Append(now, m.Migrator.Stats().Bytes/float64(sim.GB))
 	t.get("stall.frac").Append(now, stallFrac)
+	for _, w := range m.Workloads {
+		t.get("workload."+w.Name()+".ops").Append(now, m.totalOps[w.Name()])
+	}
 	// Fault series exist only when injection is enabled, so fault-free
 	// telemetry (and its CSV) is byte-identical to builds without the
 	// fault layer.
@@ -133,7 +136,11 @@ func (t *Telemetry) Names() []string {
 }
 
 // WriteCSV emits every series aligned on the sampling timestamps: one
-// "t_seconds" column plus one column per series.
+// "t_seconds" column plus one column per series. Rows cover the union of
+// every series' timestamps — a series that starts late (e.g. the fault
+// counters, created on the first injected fault) or samples on its own
+// cadence holds its last value rather than shearing the columns against
+// whichever series happens to sort first.
 func (t *Telemetry) WriteCSV(w io.Writer) error {
 	names := t.Names()
 	if len(names) == 0 {
@@ -150,9 +157,18 @@ func (t *Telemetry) WriteCSV(w io.Writer) error {
 	if _, err := fmt.Fprintln(w); err != nil {
 		return err
 	}
-	ref := t.series[names[0]]
-	for i := 0; i < ref.Len(); i++ {
-		ts := ref.Times[i]
+	var times []int64
+	for _, n := range names {
+		times = append(times, t.series[n].Times...)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	uniq := times[:0]
+	for i, ts := range times {
+		if i == 0 || ts != times[i-1] {
+			uniq = append(uniq, ts)
+		}
+	}
+	for _, ts := range uniq {
 		if _, err := fmt.Fprintf(w, "%.3f", float64(ts)/1e9); err != nil {
 			return err
 		}

@@ -1,0 +1,98 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/tieredmem/hemem/internal/sim"
+	"github.com/tieredmem/hemem/internal/vm"
+)
+
+// nopManager is the minimal Manager for white-box telemetry tests: every
+// page lands in DRAM and no background work runs.
+type nopManager struct{}
+
+func (nopManager) Name() string            { return "nop" }
+func (nopManager) Attach(*Machine)         {}
+func (nopManager) PageIn(p *vm.Page)       { p.SetTier(vm.TierDRAM) }
+func (nopManager) OnQuantum(now, dt int64) {}
+func (nopManager) ActiveThreads() float64  { return 0 }
+
+// fixedWorkload drives a constant single-component access stream.
+type fixedWorkload struct {
+	name string
+	comp []Component
+}
+
+func (w *fixedWorkload) Name() string                  { return w.name }
+func (w *fixedWorkload) Threads() int                  { return 1 }
+func (w *fixedWorkload) Components() []Component       { return w.comp }
+func (w *fixedWorkload) OnOps(int64, float64, float64) {}
+func (w *fixedWorkload) Done() bool                    { return false }
+
+// Regression: WriteCSV used to walk only the timestamps of whichever
+// series sorted first alphabetically. A series created later (the fault
+// counters appear on the first injected fault) or sampling on its own
+// cadence either lost rows or sheared every column against the wrong
+// clock. Rows must cover the union of all series' timestamps.
+func TestWriteCSVAlignsLateSeries(t *testing.T) {
+	tel := &Telemetry{series: make(map[string]*sim.Series)}
+	// "aaa" sorts first but records only early points; "zzz" starts late.
+	tel.get("aaa").Append(100, 1)
+	tel.get("aaa").Append(200, 2)
+	tel.get("zzz").Append(200, 20)
+	tel.get("zzz").Append(300, 30)
+	tel.get("zzz").Append(400, 40)
+
+	var sb strings.Builder
+	if err := tel.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if lines[0] != "t_seconds,aaa,zzz" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	want := []string{
+		"0.000,1,0",  // t=100ns
+		"0.000,2,20", // t=200ns
+		"0.000,2,30", // t=300: aaa holds its last value
+		"0.000,2,40", // t=400
+	}
+	if len(lines)-1 != len(want) {
+		t.Fatalf("got %d rows, want %d (union of timestamps):\n%s", len(lines)-1, len(want), sb.String())
+	}
+	for i, w := range want {
+		if lines[i+1] != w {
+			t.Errorf("row %d = %q, want %q", i, lines[i+1], w)
+		}
+	}
+}
+
+// Telemetry records the per-workload cumulative ops series the Series
+// docs promise.
+func TestTelemetryRecordsWorkloadOps(t *testing.T) {
+	m := New(DefaultConfig(), nopManager{})
+	tel := m.EnableTelemetry(100 * sim.Millisecond)
+	r := m.AS.Map("w1-data", 1*sim.GB)
+	m.AddWorkload(&fixedWorkload{name: "w1", comp: []Component{
+		{Set: r.AsSet(), Share: 1, ReadBytes: 64},
+	}})
+	m.Warm()
+	m.Run(1 * sim.Second)
+	s := tel.Series("workload.w1.ops")
+	if s == nil || s.Len() == 0 {
+		t.Fatal("workload.w1.ops series missing")
+	}
+	// The series is cumulative: non-decreasing, positive once traffic
+	// flows, and never ahead of the machine's own op counter (the final
+	// sample predates the last few quanta).
+	for i := 1; i < s.Len(); i++ {
+		if s.Values[i] < s.Values[i-1] {
+			t.Fatalf("ops series decreased at %d: %v -> %v", i, s.Values[i-1], s.Values[i])
+		}
+	}
+	last := s.Values[s.Len()-1]
+	if last <= 0 || last > m.TotalOps("w1") {
+		t.Fatalf("ops series last = %v, TotalOps = %v", last, m.TotalOps("w1"))
+	}
+}

@@ -87,6 +87,29 @@ func (b *Buffer) Pop() (Record, bool) {
 	return r, true
 }
 
+// PopBatch removes up to len(dst) of the oldest records into dst and
+// returns how many were copied. It is the bulk form of Pop: the ring is
+// drained with at most two copies instead of a call per record, which is
+// what keeps the reader's hot path allocation- and call-free.
+func (b *Buffer) PopBatch(dst []Record) int {
+	n := b.n
+	if n > len(dst) {
+		n = len(dst)
+	}
+	if n == 0 {
+		return 0
+	}
+	first := len(b.buf) - b.head
+	if first > n {
+		first = n
+	}
+	copy(dst, b.buf[b.head:b.head+first])
+	copy(dst[first:], b.buf[:n-first])
+	b.head = (b.head + n) % len(b.buf)
+	b.n -= n
+	return n
+}
+
 // Len returns the number of buffered records.
 func (b *Buffer) Len() int { return b.n }
 
@@ -145,15 +168,32 @@ func NewSampler(period float64, buf *Buffer) (*Sampler, error) {
 // Buffer returns the buffer the sampler writes to.
 func (s *Sampler) Buffer() *Buffer { return s.buf }
 
+// Take records that n accesses of class c occurred and returns how many
+// samples they produce at the configured period. The caller generates that
+// many records and pushes them into Buffer directly; this is the batch
+// form of Feed, avoiding a closure call per sample on the machine's
+// per-quantum hot path.
+//
+// The carry arithmetic is bit-compatible with the historical one-at-a-time
+// decrement loop: for carry < 2^52, subtracting the integer sample count in
+// one step yields the same float64 as repeated unit decrements, so seeded
+// runs are reproducible across both APIs.
+func (s *Sampler) Take(n float64, c Class) int {
+	s.carry[c] += n / s.Period
+	k := int(s.carry[c])
+	if k > 0 {
+		s.carry[c] -= float64(k)
+	}
+	return k
+}
+
 // Feed records that n accesses of class c occurred, sampling records via
 // pick. pick is called once per emitted sample and must return the page
 // the sampled instruction touched — drawn from the workload's current
 // access distribution — along with the counter that fired (for loads,
 // LoadDRAM vs LoadNVM depending on which memory served it).
 func (s *Sampler) Feed(n float64, c Class, pick func() Record) {
-	s.carry[c] += n / s.Period
-	for s.carry[c] >= 1 {
-		s.carry[c]--
+	for k := s.Take(n, c); k > 0; k-- {
 		s.buf.Push(pick())
 	}
 }
@@ -200,10 +240,38 @@ func (r *Reader) Drain(buf *Buffer, dt int64, consume func(Record)) int {
 		consume(rec)
 		processed++
 	}
-	// Unused budget does not bank beyond one quantum's worth; an idle
-	// reader cannot "save up" capacity it didn't use.
+	r.Settle(dt)
+	return processed
+}
+
+// DrainBatch pops up to the rate budget for dt (bounded by len(dst))
+// into dst and returns how many records were copied. Call it with dt for
+// the first batch of a quantum and dt = 0 for follow-up batches when dst
+// filled completely, then Settle(dt) once the quantum's draining is done.
+// The budget arithmetic matches Drain exactly, so seeded runs produce
+// bit-identical results through either API.
+func (r *Reader) DrainBatch(buf *Buffer, dt int64, dst []Record) int {
+	if dt > 0 {
+		r.carry += r.RatePerSec * float64(dt) / 1e9
+	}
+	k := int(r.carry)
+	if k > len(dst) {
+		k = len(dst)
+	}
+	if k <= 0 {
+		return 0
+	}
+	n := buf.PopBatch(dst[:k])
+	if n > 0 {
+		r.carry -= float64(n)
+	}
+	return n
+}
+
+// Settle caps banked budget at one quantum's allowance: an idle reader
+// cannot "save up" capacity it didn't use.
+func (r *Reader) Settle(dt int64) {
 	if max := r.RatePerSec * float64(dt) / 1e9; r.carry > max {
 		r.carry = max
 	}
-	return processed
 }

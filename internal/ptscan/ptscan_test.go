@@ -98,7 +98,7 @@ func TestScanOnlyOverhead(t *testing.T) {
 
 	pebsScore := runWithOptPlacement(func(place func(*vm.Page) vm.Tier) machine.Manager {
 		cfg := core.DefaultConfig()
-		cfg.MigrationEnabled = false
+		cfg.NoMigration = true
 		cfg.PlaceFunc = place
 		return core.New(cfg)
 	})

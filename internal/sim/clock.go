@@ -38,14 +38,27 @@ type Event struct {
 type EventQueue struct {
 	h    eventHeap
 	next uint64
+	// free recycles fired events so a periodic tick that reschedules
+	// itself every 10 ms runs allocation-free.
+	free []*Event
 }
 
 // NewEventQueue returns an empty queue.
 func NewEventQueue() *EventQueue { return &EventQueue{} }
 
-// Schedule enqueues fn to run at time at.
+// Schedule enqueues fn to run at time at. The returned event is owned by
+// the queue and only valid until it fires; it is recycled afterwards.
 func (q *EventQueue) Schedule(at int64, fn func(now int64)) *Event {
-	e := &Event{At: at, Fn: fn, seq: q.next}
+	var e *Event
+	if n := len(q.free); n > 0 {
+		e = q.free[n-1]
+		q.free[n-1] = nil
+		q.free = q.free[:n-1]
+		*e = Event{}
+	} else {
+		e = &Event{}
+	}
+	e.At, e.Fn, e.seq = at, fn, q.next
 	q.next++
 	heap.Push(&q.h, e)
 	return e
@@ -68,7 +81,10 @@ func (q *EventQueue) NextDeadline() (at int64, ok bool) {
 func (q *EventQueue) RunDue(now int64) {
 	for q.h.Len() > 0 && q.h[0].At <= now {
 		e := heap.Pop(&q.h).(*Event)
-		e.Fn(e.At)
+		at, fn := e.At, e.Fn
+		e.Fn = nil
+		q.free = append(q.free, e)
+		fn(at)
 	}
 }
 

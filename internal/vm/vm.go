@@ -70,11 +70,56 @@ type Page struct {
 	// backing it (AddressSpace.RetireFrame).
 	Remaps int
 
-	sets []*PageSet
+	// Set membership is stored inline for the common case (a page joins
+	// at most two sets: e.g. GUPS hot + write-only partitions) so that
+	// building million-page sets does not allocate a slice header per
+	// page; extra memberships spill to setsOv.
+	set0, set1 *PageSet
+	setsOv     []*PageSet
 }
 
-// InSets returns the page sets this page belongs to.
-func (p *Page) InSets() []*PageSet { return p.sets }
+// InSets returns the page sets this page belongs to. The slice is freshly
+// allocated; hot paths should not call this.
+func (p *Page) InSets() []*PageSet {
+	var out []*PageSet
+	if p.set0 != nil {
+		out = append(out, p.set0)
+	}
+	if p.set1 != nil {
+		out = append(out, p.set1)
+	}
+	return append(out, p.setsOv...)
+}
+
+// addSet registers membership of p in s.
+func (p *Page) addSet(s *PageSet) {
+	switch {
+	case p.set0 == nil:
+		p.set0 = s
+	case p.set1 == nil:
+		p.set1 = s
+	default:
+		p.setsOv = append(p.setsOv, s)
+	}
+}
+
+// removeSet unregisters membership of p in s.
+func (p *Page) removeSet(s *PageSet) {
+	switch {
+	case p.set0 == s:
+		p.set0 = nil
+	case p.set1 == s:
+		p.set1 = nil
+	default:
+		for j, ps := range p.setsOv {
+			if ps == s {
+				p.setsOv[j] = p.setsOv[len(p.setsOv)-1]
+				p.setsOv = p.setsOv[:len(p.setsOv)-1]
+				return
+			}
+		}
+	}
+}
 
 // SetTier moves the page to tier t, maintaining the occupancy counters of
 // its region and of every page set that contains it.
@@ -84,7 +129,15 @@ func (p *Page) SetTier(t Tier) {
 	}
 	p.Region.counts[p.Tier]--
 	p.Region.counts[t]++
-	for _, s := range p.sets {
+	if s := p.set0; s != nil {
+		s.counts[p.Tier]--
+		s.counts[t]++
+	}
+	if s := p.set1; s != nil {
+		s.counts[p.Tier]--
+		s.counts[t]++
+	}
+	for _, s := range p.setsOv {
 		s.counts[p.Tier]--
 		s.counts[t]++
 	}
@@ -94,6 +147,9 @@ func (p *Page) SetTier(t Tier) {
 // Region is a contiguous virtual address range created by an (intercepted)
 // mmap call. Pages are allocated lazily by tier managers on first touch.
 type Region struct {
+	// ID is the region's dense index within its AddressSpace; managers
+	// use it to keep per-region state in slices instead of pointer maps.
+	ID       int
 	Name     string
 	Start    int64
 	PageSize int64
@@ -152,7 +208,7 @@ func NewPageSet(name string, pages []*Page) *PageSet {
 func (s *PageSet) Add(p *Page) {
 	s.pages = append(s.pages, p)
 	s.counts[p.Tier]++
-	p.sets = append(p.sets, s)
+	p.addSet(s)
 }
 
 // Remove deletes the page at index i (swap-with-last; order is not
@@ -164,13 +220,7 @@ func (s *PageSet) Remove(i int) *Page {
 	s.pages[last] = nil
 	s.pages = s.pages[:last]
 	s.counts[p.Tier]--
-	for j, ps := range p.sets {
-		if ps == s {
-			p.sets[j] = p.sets[len(p.sets)-1]
-			p.sets = p.sets[:len(p.sets)-1]
-			break
-		}
-	}
+	p.removeSet(s)
 	return p
 }
 
@@ -210,8 +260,13 @@ type AddressSpace struct {
 
 	pages         []*Page
 	nextVA        int64
+	nextRegionID  int
 	retiredFrames int
 }
+
+// NumRegions returns how many regions were ever mapped (unmapped regions
+// keep their IDs, so this is also the upper bound on Region.ID + 1).
+func (a *AddressSpace) NumRegions() int { return a.nextRegionID }
 
 // NewAddressSpace creates an empty address space with the given page size
 // (HeMem's prototype uses 2 MB huge pages).
@@ -227,11 +282,17 @@ func NewAddressSpace(pageSize int64) *AddressSpace {
 // TierNone; the active tier manager places them on first touch.
 func (a *AddressSpace) Map(name string, size int64) *Region {
 	n := int((size + a.PageSize - 1) / a.PageSize)
-	r := &Region{Name: name, Start: a.nextVA, PageSize: a.PageSize}
+	r := &Region{ID: a.nextRegionID, Name: name, Start: a.nextVA, PageSize: a.PageSize}
+	a.nextRegionID++
 	r.Pages = make([]*Page, n)
 	base := PageID(len(a.pages))
+	// One backing array for the whole region: multi-hundred-GB mappings
+	// create hundreds of thousands of pages, and allocating each Page
+	// individually is what the GC then spends the run scanning.
+	backing := make([]Page, n)
 	for i := 0; i < n; i++ {
-		p := &Page{ID: base + PageID(i), Region: r, Index: i, Tier: TierNone}
+		p := &backing[i]
+		p.ID, p.Region, p.Index, p.Tier = base+PageID(i), r, i, TierNone
 		r.Pages[i] = p
 		a.pages = append(a.pages, p)
 	}
@@ -239,6 +300,42 @@ func (a *AddressSpace) Map(name string, size int64) *Region {
 	a.nextVA += int64(n) * a.PageSize
 	a.Regions = append(a.Regions, r)
 	return r
+}
+
+// Unmap removes region r from the address space, modelling munmap of the
+// whole range. The pages keep their IDs (stale PageIDs in flight resolve
+// to a page in TierNone with no sets) but leave every page set they were
+// in; the active tier manager must have released its own tracking first
+// (see machine.Machine.Unmap).
+func (a *AddressSpace) Unmap(r *Region) {
+	for _, p := range r.Pages {
+		if p.set0 != nil {
+			removePageFromSet(p.set0, p)
+		}
+		if p.set1 != nil {
+			removePageFromSet(p.set1, p)
+		}
+		for len(p.setsOv) > 0 {
+			removePageFromSet(p.setsOv[0], p)
+		}
+		p.SetTier(TierNone)
+	}
+	for i, reg := range a.Regions {
+		if reg == r {
+			a.Regions = append(a.Regions[:i], a.Regions[i+1:]...)
+			break
+		}
+	}
+}
+
+// removePageFromSet removes p from s by scanning for its index.
+func removePageFromSet(s *PageSet, p *Page) {
+	for i, q := range s.pages {
+		if q == p {
+			s.Remove(i)
+			return
+		}
+	}
 }
 
 // Page returns the page with the given global ID.
