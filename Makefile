@@ -2,7 +2,7 @@
 # build, and the test suite under the race detector.
 
 GO ?= go
-BENCH_OUT ?= BENCH_pr2.json
+BENCH_OUT ?= BENCH_pr3.json
 
 .PHONY: check vet build test race bench
 
@@ -20,8 +20,9 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Simulator performance harness: GUPS/KVS/GAP scenarios, reporting wall
-# clock, simulated-ns per second, allocations, and seeded-determinism
-# checks as JSON.
+# Simulator performance harness: GUPS/KVS/GAP scenarios plus the sweep
+# engine (full suite serial vs parallel, outputs byte-compared),
+# reporting wall clock, simulated-ns per second, allocations, and
+# seeded-determinism checks as JSON.
 bench:
 	$(GO) run ./cmd/hemem-bench -perf -out $(BENCH_OUT)

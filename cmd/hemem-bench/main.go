@@ -6,16 +6,24 @@
 //	hemem-bench -list              list experiments
 //	hemem-bench -exp fig5          run one experiment (quick parameters)
 //	hemem-bench -exp all -full     run everything at paper-scale lengths
-//	hemem-bench -perf -out BENCH_pr2.json
+//	hemem-bench -exp all -jobs 8   fan experiment cells out over 8 workers
+//	                               (output is byte-identical to -jobs 1)
+//	hemem-bench -exp all -v        narrate per-cell completion to stderr
+//	hemem-bench -perf -out BENCH_pr3.json
 //	                               measure simulator performance (wall
-//	                               clock, sim-ns/sec, allocations) and
-//	                               verify seeded determinism
+//	                               clock, sim-ns/sec, allocations, sweep
+//	                               parallel speedup) and verify seeded
+//	                               determinism
+//	hemem-bench -exp fig5 -cpuprofile cpu.pprof -memprofile mem.pprof
+//	                               write pprof profiles of the run
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"github.com/tieredmem/hemem/internal/bench"
@@ -23,14 +31,51 @@ import (
 
 func main() {
 	var (
-		exp  = flag.String("exp", "", "experiment id (or 'all')")
-		full = flag.Bool("full", false, "paper-scale run lengths")
-		seed = flag.Uint64("seed", 0, "workload layout seed (0 = default)")
-		list = flag.Bool("list", false, "list experiments")
-		perf = flag.Bool("perf", false, "run the simulator performance harness")
-		out  = flag.String("out", "", "with -perf: write the JSON report to this file (default stdout)")
+		exp        = flag.String("exp", "", "experiment id (or 'all')")
+		full       = flag.Bool("full", false, "paper-scale run lengths")
+		seed       = flag.Uint64("seed", 0, "workload layout seed (0 = default)")
+		jobs       = flag.Int("jobs", 0, "sweep worker pool size (0 = GOMAXPROCS); any value produces identical output")
+		verbose    = flag.Bool("v", false, "narrate per-cell completion to stderr")
+		list       = flag.Bool("list", false, "list experiments")
+		perf       = flag.Bool("perf", false, "run the simulator performance harness")
+		out        = flag.String("out", "", "with -perf: write the JSON report to this file (default stdout)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
+
+	opts := bench.Opts{Full: *full, Seed: *seed, Jobs: *jobs}
+	if *verbose {
+		opts.Progress = os.Stderr
+	}
 
 	if *perf {
 		jsonOut := os.Stdout
@@ -43,7 +88,7 @@ func main() {
 			defer f.Close()
 			jsonOut = f
 		}
-		if err := bench.WritePerf(jsonOut, os.Stderr, bench.Opts{Full: *full, Seed: *seed}); err != nil {
+		if err := bench.WritePerf(jsonOut, os.Stderr, opts); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -61,7 +106,6 @@ func main() {
 		return
 	}
 
-	opts := bench.Opts{Full: *full, Seed: *seed}
 	run := func(e bench.Experiment) {
 		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
 		start := time.Now()
@@ -75,9 +119,9 @@ func main() {
 		}
 		return
 	}
-	e, ok := bench.ByID(*exp)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
+	e, err := bench.ByID(*exp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	run(e)

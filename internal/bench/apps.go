@@ -25,23 +25,31 @@ func init() {
 func runFig13(w io.Writer, o Opts) {
 	warm := o.scale(90, 240) * sim.Second
 	measure := o.scale(20, 60) * sim.Second
-	systems := []struct {
-		name string
-		mk   func() machine.Manager
-	}{{"MM", newMM}, {"Nimble", newNimble}, {"HeMem", newHeMem}, {"NVM", newNVM}}
+	systems := []namedMgr{{"MM", newMM}, {"Nimble", newNimble}, {"HeMem", newHeMem}, {"NVM(X-Mem)", newNVM}}
+	counts := []int{16, 64, 216, 432, 700, 864, 1200, 1728}
+	s := NewSweep("fig13", o)
+	for _, wh := range counts {
+		for _, sys := range systems {
+			s.Cell(fmt.Sprintf("wh=%d/%s", wh, sys.name), func(CellInfo) any {
+				m := machine.New(machine.DefaultConfig(), sys.mk())
+				d := tpcc.NewDriver(m, tpcc.DriverConfig{Warehouses: wh, Seed: o.seed()})
+				m.Warm()
+				m.Run(warm)
+				d.ResetScore()
+				m.Run(measure)
+				return d.TPS()
+			})
+		}
+	}
+	res := s.Gather()
 	tw := table(w)
 	fmt.Fprintln(tw, "warehouses\tMM\tNimble\tHeMem\tNVM(X-Mem)")
-	counts := []int{16, 64, 216, 432, 700, 864, 1200, 1728}
+	i := 0
 	for _, wh := range counts {
 		fmt.Fprintf(tw, "%d", wh)
-		for _, s := range systems {
-			m := machine.New(machine.DefaultConfig(), s.mk())
-			d := tpcc.NewDriver(m, tpcc.DriverConfig{Warehouses: wh, Seed: o.seed()})
-			m.Warm()
-			m.Run(warm)
-			d.ResetScore()
-			m.Run(measure)
-			fmt.Fprintf(tw, "\t%.0f", d.TPS())
+		for range systems {
+			fmt.Fprintf(tw, "\t%.0f", f64(res[i]))
+			i++
 		}
 		fmt.Fprintln(tw)
 	}
@@ -57,43 +65,68 @@ func runTab3(w io.Writer, o Opts) {
 	// sampling converges slowly; give it a long warm-up even in quick mode.
 	warm := o.scale(300, 600) * sim.Second
 	measure := o.scale(30, 60) * sim.Second
-	systems := []struct {
-		name string
-		mk   func() machine.Manager
-	}{{"MM", newMM}, {"HeMem", newHeMem}, {"Nimble", newNimble}, {"NVM", newNVM}}
+	systems := []namedMgr{{"MM", newMM}, {"HeMem", newHeMem}, {"Nimble", newNimble}, {"NVM", newNVM}}
+	sizes := []int64{16, 128, 700}
 
-	tw := table(w)
-	fmt.Fprintln(tw, "System\t16GB\t128GB\t700GB\t50p\t90p\t99p\t99.9p")
-	for _, s := range systems {
-		fmt.Fprintf(tw, "%s", s.name)
-		for _, ws := range []int64{16, 128, 700} {
-			m := machine.New(machine.DefaultConfig(), s.mk())
-			d := kvs.NewDriver(m, kvs.DriverConfig{
-				WorkingSet: ws * sim.GB, HotKeyFrac: 0.2, HotTrafficFrac: 0.9, Seed: o.seed(),
+	s := NewSweep("tab3", o)
+	type rowIdx struct {
+		mops [3]int
+		lat  int
+	}
+	var idx []rowIdx
+	for _, sys := range systems {
+		var ri rowIdx
+		ri.lat = -1
+		for j, ws := range sizes {
+			ri.mops[j] = s.Cell(fmt.Sprintf("%s/ws=%dGB", sys.name, ws), func(CellInfo) any {
+				m := machine.New(machine.DefaultConfig(), sys.mk())
+				d := kvs.NewDriver(m, kvs.DriverConfig{
+					WorkingSet: ws * sim.GB, HotKeyFrac: 0.2, HotTrafficFrac: 0.9, Seed: o.seed(),
+				})
+				m.Warm()
+				m.Run(warm)
+				d.ResetScore()
+				m.Run(measure)
+				return d.Mops()
 			})
-			m.Warm()
-			m.Run(warm)
-			d.ResetScore()
-			m.Run(measure)
-			fmt.Fprintf(tw, "\t%.2f", d.Mops())
 		}
 		// Latency at 30% load on the 700 GB working set (the paper
 		// reports it for MM and HeMem).
-		if s.name == "MM" || s.name == "HeMem" {
-			m := machine.New(machine.DefaultConfig(), s.mk())
-			d := kvs.NewDriver(m, kvs.DriverConfig{
-				WorkingSet: 700 * sim.GB, HotKeyFrac: 0.2, HotTrafficFrac: 0.9,
-				NetBase: kvs.NetBaseTAS, Seed: o.seed(),
+		if sys.name == "MM" || sys.name == "HeMem" {
+			ri.lat = s.Cell(sys.name+"/latency", func(CellInfo) any {
+				m := machine.New(machine.DefaultConfig(), sys.mk())
+				d := kvs.NewDriver(m, kvs.DriverConfig{
+					WorkingSet: 700 * sim.GB, HotKeyFrac: 0.2, HotTrafficFrac: 0.9,
+					NetBase: kvs.NetBaseTAS, Seed: o.seed(),
+				})
+				m.Warm()
+				m.Run(warm)
+				d.SetTargetRate(0.3 * 8 / (10 * 1000))
+				m.Run(10 * sim.Second)
+				d.ResetScore()
+				m.Run(measure)
+				lat := d.Latency()
+				var qs [4]float64
+				for i, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+					qs[i] = lat.Quantile(q)
+				}
+				return qs
 			})
-			m.Warm()
-			m.Run(warm)
-			d.SetTargetRate(0.3 * 8 / (10 * 1000))
-			m.Run(10 * sim.Second)
-			d.ResetScore()
-			m.Run(measure)
-			lat := d.Latency()
-			for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
-				fmt.Fprintf(tw, "\t%.0f", lat.Quantile(q)/1000)
+		}
+		idx = append(idx, ri)
+	}
+	res := s.Gather()
+
+	tw := table(w)
+	fmt.Fprintln(tw, "System\t16GB\t128GB\t700GB\t50p\t90p\t99p\t99.9p")
+	for i, sys := range systems {
+		fmt.Fprintf(tw, "%s", sys.name)
+		for _, c := range idx[i].mops {
+			fmt.Fprintf(tw, "\t%.2f", f64(res[c]))
+		}
+		if idx[i].lat >= 0 {
+			for _, q := range res[idx[i].lat].([4]float64) {
+				fmt.Fprintf(tw, "\t%.0f", q/1000)
 			}
 		} else {
 			fmt.Fprint(tw, "\t-\t-\t-\t-")
@@ -110,7 +143,10 @@ func runTab4(w io.Writer, o Opts) {
 	warm := o.scale(60, 240) * sim.Second
 	measure := o.scale(20, 60) * sim.Second
 
-	run := func(mk func() machine.Manager, pin bool) (prio, reg *sim.Histogram) {
+	type latPair struct {
+		prio, reg *sim.Histogram
+	}
+	run := func(mk func() machine.Manager, pin bool) latPair {
 		mgr := mk()
 		m := machine.New(machine.DefaultConfig(), mgr)
 		prioD := kvs.NewDriver(m, kvs.DriverConfig{
@@ -134,21 +170,24 @@ func runTab4(w io.Writer, o Opts) {
 		prioD.ResetScore()
 		regD.ResetScore()
 		m.Run(measure)
-		return prioD.Latency(), regD.Latency()
+		return latPair{prioD.Latency(), regD.Latency()}
 	}
 
-	hePrio, heReg := run(newHeMem, true)
-	mmPrio, mmReg := run(newMM, false)
+	s := NewSweep("tab4", o)
+	s.Cell("HeMem", func(CellInfo) any { return run(newHeMem, true) })
+	s.Cell("MM", func(CellInfo) any { return run(newMM, false) })
+	res := s.Gather()
 
 	tw := table(w)
 	fmt.Fprintln(tw, "µs\tPriority 50p\t99p\t99.9p\tRegular 50p\t99p\t99.9p")
-	prow := func(name string, p, r *sim.Histogram) {
+	prow := func(name string, lp latPair) {
+		p, r := lp.prio, lp.reg
 		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\n", name,
 			p.Quantile(0.5)/1000, p.Quantile(0.99)/1000, p.Quantile(0.999)/1000,
 			r.Quantile(0.5)/1000, r.Quantile(0.99)/1000, r.Quantile(0.999)/1000)
 	}
-	prow("HeMem", hePrio, heReg)
-	prow("MM", mmPrio, mmReg)
+	prow("HeMem", res[0].(latPair))
+	prow("MM", res[1].(latPair))
 	tw.Flush()
 	fmt.Fprintln(w, "paper: priority p50 86 (HeMem) vs 127 (MM) µs — 47% better — with no tangible impact on the regular instance")
 }
@@ -171,11 +210,8 @@ func runFig14(w io.Writer, o Opts) {
 	if o.Full {
 		visit = 1
 	}
-	systems := []struct {
-		name string
-		mk   func() machine.Manager
-	}{{"DRAM", newDRAM}, {"HeMem", newHeMem}, {"Nimble", newNimble}, {"MM", newMM}}
-	printIterations(w, o, 28, iters, visit, systems,
+	systems := []namedMgr{{"DRAM", newDRAM}, {"HeMem", newHeMem}, {"Nimble", newNimble}, {"MM", newMM}}
+	printIterations(w, NewSweep("fig14", o), 28, iters, visit, systems,
 		"seconds per iteration; paper: HeMem ~= DRAM, 93% faster than MM on average; Nimble between (beats MM by 32%)")
 }
 
@@ -186,33 +222,29 @@ func runFig15(w io.Writer, o Opts) {
 	if o.Full {
 		visit = 1
 	}
-	systems := []struct {
-		name string
-		mk   func() machine.Manager
-	}{{"HeMem", newHeMem}, {"HeMem-PT-Async", newPTAsync}, {"Nimble", newNimble}, {"MM", newMM}}
-	printIterations(w, o, 29, iters, visit, systems,
+	systems := []namedMgr{{"HeMem", newHeMem}, {"HeMem-PT-Async", newPTAsync}, {"Nimble", newNimble}, {"MM", newMM}}
+	printIterations(w, NewSweep("fig15", o), 29, iters, visit, systems,
 		"seconds per iteration; paper: HeMem fastest (58% over MM); PT-Async slow early then equal; Nimble +36% vs HeMem")
 }
 
-func printIterations(w io.Writer, o Opts, scale, iters int, visit float64, systems []struct {
-	name string
-	mk   func() machine.Manager
-}, footer string) {
-	results := make([][]int64, len(systems))
-	for i, s := range systems {
-		d := bcRun(s.mk(), scale, iters, visit, o.seed())
-		results[i] = d.IterationTimes()
+func printIterations(w io.Writer, s *Sweep, scale, iters int, visit float64, systems []namedMgr, footer string) {
+	o := s.o
+	for _, sys := range systems {
+		s.Cell(sys.name, func(CellInfo) any {
+			return bcRun(sys.mk(), scale, iters, visit, o.seed()).IterationTimes()
+		})
 	}
+	res := s.Gather()
 	tw := table(w)
 	fmt.Fprint(tw, "iteration")
-	for _, s := range systems {
-		fmt.Fprintf(tw, "\t%s", s.name)
+	for _, sys := range systems {
+		fmt.Fprintf(tw, "\t%s", sys.name)
 	}
 	fmt.Fprintln(tw)
 	for it := 0; it < iters; it++ {
 		fmt.Fprintf(tw, "%d", it+1)
 		for i := range systems {
-			fmt.Fprintf(tw, "\t%.1f", float64(results[i][it])/1e9)
+			fmt.Fprintf(tw, "\t%.1f", float64(res[i].([]int64)[it])/1e9)
 		}
 		fmt.Fprintln(tw)
 	}
@@ -227,25 +259,24 @@ func runFig16(w io.Writer, o Opts) {
 	if o.Full {
 		visit = 1
 	}
-	systems := []struct {
-		name string
-		mk   func() machine.Manager
-	}{{"MM", newMM}, {"HeMem-PEBS", newHeMem}, {"HeMem-PT-Async", newPTAsync}}
-	results := make([][]float64, len(systems))
-	for i, s := range systems {
-		d := bcRun(s.mk(), 29, iters, visit, o.seed())
-		results[i] = d.IterationNVMWrites()
+	systems := []namedMgr{{"MM", newMM}, {"HeMem-PEBS", newHeMem}, {"HeMem-PT-Async", newPTAsync}}
+	s := NewSweep("fig16", o)
+	for _, sys := range systems {
+		s.Cell(sys.name, func(CellInfo) any {
+			return bcRun(sys.mk(), 29, iters, visit, o.seed()).IterationNVMWrites()
+		})
 	}
+	res := s.Gather()
 	tw := table(w)
 	fmt.Fprint(tw, "iteration")
-	for _, s := range systems {
-		fmt.Fprintf(tw, "\t%s", s.name)
+	for _, sys := range systems {
+		fmt.Fprintf(tw, "\t%s", sys.name)
 	}
 	fmt.Fprintln(tw)
 	for it := 0; it < iters; it++ {
 		fmt.Fprintf(tw, "%d", it+1)
 		for i := range systems {
-			fmt.Fprintf(tw, "\t%.2f", results[i][it]/float64(sim.GB))
+			fmt.Fprintf(tw, "\t%.2f", res[i].([]float64)[it]/float64(sim.GB))
 		}
 		fmt.Fprintln(tw)
 	}

@@ -12,7 +12,9 @@ package bench
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
+	"strings"
 	"text/tabwriter"
 
 	"github.com/tieredmem/hemem/internal/core"
@@ -31,6 +33,13 @@ type Opts struct {
 	Full bool
 	// Seed perturbs workload layout; 0 uses the default.
 	Seed uint64
+	// Jobs is the sweep worker pool size; 0 uses GOMAXPROCS. Output is
+	// byte-identical at every value (see sweep.go).
+	Jobs int
+	// Progress, when non-nil, receives per-cell completion narration
+	// ("cell 13/27 fig5/ws=64GB done in 0.4s"). It is separate from the
+	// experiment's table output, which stays canonical.
+	Progress io.Writer
 }
 
 func (o Opts) seed() uint64 {
@@ -38,6 +47,14 @@ func (o Opts) seed() uint64 {
 		return 17
 	}
 	return o.Seed
+}
+
+// jobs resolves the worker pool size.
+func (o Opts) jobs() int {
+	if o.Jobs > 0 {
+		return o.Jobs
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // scale returns quick unless Full is set.
@@ -55,28 +72,38 @@ type Experiment struct {
 	Run   func(w io.Writer, o Opts)
 }
 
-var registry []Experiment
+var registry = map[string]Experiment{}
 
 func register(id, title string, run func(w io.Writer, o Opts)) {
-	registry = append(registry, Experiment{ID: id, Title: title, Run: run})
+	if _, dup := registry[id]; dup {
+		panic("bench: duplicate experiment id " + id)
+	}
+	registry[id] = Experiment{ID: id, Title: title, Run: run}
 }
 
 // All returns every registered experiment in id order.
 func All() []Experiment {
-	out := make([]Experiment, len(registry))
-	copy(out, registry)
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
-// ByID returns the experiment with the given id.
-func ByID(id string) (Experiment, bool) {
-	for _, e := range registry {
-		if e.ID == id {
-			return e, true
+// ByID returns the experiment with the given id. On a miss the error
+// lists every valid id, sorted.
+func ByID(id string) (Experiment, error) {
+	e, ok := registry[id]
+	if !ok {
+		ids := make([]string, 0, len(registry))
+		for k := range registry {
+			ids = append(ids, k)
 		}
+		sort.Strings(ids)
+		return Experiment{}, fmt.Errorf("unknown experiment %q; valid ids: %s", id, strings.Join(ids, ", "))
 	}
-	return Experiment{}, false
+	return e, nil
 }
 
 // table starts an aligned output table.

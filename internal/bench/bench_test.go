@@ -18,12 +18,14 @@ func TestRegistryComplete(t *testing.T) {
 		t.Fatalf("registered %d experiments, want %d", len(All()), len(want))
 	}
 	for _, id := range want {
-		if _, ok := ByID(id); !ok {
-			t.Errorf("experiment %s missing", id)
+		if _, err := ByID(id); err != nil {
+			t.Errorf("experiment %s missing: %v", id, err)
 		}
 	}
-	if _, ok := ByID("nope"); ok {
+	if _, err := ByID("nope"); err == nil {
 		t.Error("ByID accepted unknown id")
+	} else if !strings.Contains(err.Error(), "fig10") || !strings.Contains(err.Error(), "tab1") {
+		t.Errorf("ByID miss error should list valid ids, got: %v", err)
 	}
 }
 

@@ -25,63 +25,92 @@ func init() {
 	register("fig12", "Figure 12: memory cooling threshold sensitivity", runFig12)
 }
 
-// runFig5: uniform random GUPS over growing working sets for five systems.
-func runFig5(w io.Writer, o Opts) {
-	warm := o.scale(10, 60) * sim.Second
-	measure := o.scale(5, 30) * sim.Second
-	systems := []struct {
-		name string
-		mk   func() machine.Manager
-	}{
-		{"DRAM", newDRAM}, {"NVM", newNVM}, {"MM", newMM}, {"Nimble", newNimble}, {"HeMem", newHeMem},
-	}
-	tw := table(w)
-	fmt.Fprintln(tw, "ws(GB)\tDRAM\tNVM\tMM\tNimble\tHeMem\tMM-24thr\tHeMem-24thr")
-	for _, wsGB := range []int64{1, 8, 32, 64, 96, 128, 160, 192, 256} {
-		fmt.Fprintf(tw, "%d", wsGB)
-		for _, s := range systems {
-			score := gupsRun(s.mk(), gups.Config{
-				Threads: 16, WorkingSet: wsGB * sim.GB, Seed: o.seed(),
-			}, warm, measure)
-			fmt.Fprintf(tw, "\t%.4f", score)
+// namedMgr pairs a report label with a manager constructor.
+type namedMgr struct {
+	name string
+	mk   func() machine.Manager
+}
+
+// scoreGrid declares one cell per (row, system) pair running a GUPS
+// configuration, gathers them, and prints the row-major score table.
+func scoreGrid(w io.Writer, s *Sweep, header string, rows []string, systems []namedMgr,
+	run func(row int, sys namedMgr) float64, footer string) {
+	for r := range rows {
+		for _, sys := range systems {
+			s.Cell(rows[r]+"/"+sys.name, func(CellInfo) any { return run(r, sys) })
 		}
-		// The paper compares HeMem and MM explicitly with more threads.
-		for _, mk := range []func() machine.Manager{newMM, newHeMem} {
-			score := gupsRun(mk(), gups.Config{
-				Threads: 24, WorkingSet: wsGB * sim.GB, Seed: o.seed(),
-			}, warm, measure)
-			fmt.Fprintf(tw, "\t%.4f", score)
+	}
+	res := s.Gather()
+	tw := table(w)
+	fmt.Fprintln(tw, header)
+	i := 0
+	for r := range rows {
+		fmt.Fprintf(tw, "%s", rows[r])
+		for range systems {
+			fmt.Fprintf(tw, "\t%.4f", f64(res[i]))
+			i++
 		}
 		fmt.Fprintln(tw)
 	}
 	tw.Flush()
-	fmt.Fprintln(w, "GUPS, 16 threads (plus 24-thread MM/HeMem); paper: HeMem=MM=DRAM when <=32GB; HeMem 3.2x MM at 128GB (3.7x at 24 thr); all near NVM beyond DRAM")
+	fmt.Fprintln(w, footer)
+}
+
+// runFig5: uniform random GUPS over growing working sets for five systems.
+func runFig5(w io.Writer, o Opts) {
+	warm := o.scale(10, 60) * sim.Second
+	measure := o.scale(5, 30) * sim.Second
+	systems := []namedMgr{
+		{"DRAM", newDRAM}, {"NVM", newNVM}, {"MM", newMM}, {"Nimble", newNimble}, {"HeMem", newHeMem},
+		// The paper compares HeMem and MM explicitly with more threads.
+		{"MM-24thr", newMM}, {"HeMem-24thr", newHeMem},
+	}
+	sizes := []int64{1, 8, 32, 64, 96, 128, 160, 192, 256}
+	rows := make([]string, len(sizes))
+	for i, wsGB := range sizes {
+		rows[i] = fmt.Sprintf("%d", wsGB)
+	}
+	scoreGrid(w, NewSweep("fig5", o),
+		"ws(GB)\tDRAM\tNVM\tMM\tNimble\tHeMem\tMM-24thr\tHeMem-24thr",
+		rows, systems,
+		func(row int, sys namedMgr) float64 {
+			threads := 16
+			if sys.name == "MM-24thr" || sys.name == "HeMem-24thr" {
+				threads = 24
+			}
+			return gupsRun(sys.mk(), gups.Config{
+				Threads: threads, WorkingSet: sizes[row] * sim.GB, Seed: o.seed(),
+			}, warm, measure)
+		},
+		"GUPS, 16 threads (plus 24-thread MM/HeMem); paper: HeMem=MM=DRAM when <=32GB; HeMem 3.2x MM at 128GB (3.7x at 24 thr); all near NVM beyond DRAM")
 }
 
 // runFig6: fixed 512 GB working set, growing hot set.
 func runFig6(w io.Writer, o Opts) {
 	warm := o.scale(90, 300) * sim.Second
 	measure := o.scale(15, 60) * sim.Second
-	tw := table(w)
-	fmt.Fprintln(tw, "hot(GB)\tMM\tNimble\tHeMem\tMM-24thr\tHeMem-24thr")
-	for _, hotGB := range []int64{1, 4, 8, 16, 32, 64, 128, 256} {
-		fmt.Fprintf(tw, "%d", hotGB)
-		for _, mk := range []func() machine.Manager{newMM, newNimble, newHeMem} {
-			score := gupsRun(mk(), gups.Config{
-				Threads: 16, WorkingSet: 512 * sim.GB, HotSet: hotGB * sim.GB, Seed: o.seed(),
-			}, warm, measure)
-			fmt.Fprintf(tw, "\t%.4f", score)
-		}
-		for _, mk := range []func() machine.Manager{newMM, newHeMem} {
-			score := gupsRun(mk(), gups.Config{
-				Threads: 24, WorkingSet: 512 * sim.GB, HotSet: hotGB * sim.GB, Seed: o.seed(),
-			}, warm, measure)
-			fmt.Fprintf(tw, "\t%.4f", score)
-		}
-		fmt.Fprintln(tw)
+	systems := []namedMgr{
+		{"MM", newMM}, {"Nimble", newNimble}, {"HeMem", newHeMem},
+		{"MM-24thr", newMM}, {"HeMem-24thr", newHeMem},
 	}
-	tw.Flush()
-	fmt.Fprintln(w, "GUPS; paper: HeMem holds while hot fits DRAM (up to 2x MM); Nimble ~25% of MM; all converge once hot set exceeds DRAM; at 24 threads MM leads below 8GB hot")
+	sizes := []int64{1, 4, 8, 16, 32, 64, 128, 256}
+	rows := make([]string, len(sizes))
+	for i, hotGB := range sizes {
+		rows[i] = fmt.Sprintf("%d", hotGB)
+	}
+	scoreGrid(w, NewSweep("fig6", o),
+		"hot(GB)\tMM\tNimble\tHeMem\tMM-24thr\tHeMem-24thr",
+		rows, systems,
+		func(row int, sys namedMgr) float64 {
+			threads := 16
+			if sys.name == "MM-24thr" || sys.name == "HeMem-24thr" {
+				threads = 24
+			}
+			return gupsRun(sys.mk(), gups.Config{
+				Threads: threads, WorkingSet: 512 * sim.GB, HotSet: sizes[row] * sim.GB, Seed: o.seed(),
+			}, warm, measure)
+		},
+		"GUPS; paper: HeMem holds while hot fits DRAM (up to 2x MM); Nimble ~25% of MM; all converge once hot set exceeds DRAM; at 24 threads MM leads below 8GB hot")
 }
 
 // runFig7: thread scalability on the dynamic hot-set experiment ("we run
@@ -96,14 +125,19 @@ func runFig7(w io.Writer, o Opts) {
 		cfg.NoDMA = true
 		return core.New(cfg)
 	}
-	tw := table(w)
-	fmt.Fprintln(tw, "threads\tMM\tHeMem(DMA)\tHeMem(4 copy thr)")
-	for _, threads := range []int{1, 4, 8, 12, 16, 20, 21, 22, 24} {
-		fmt.Fprintf(tw, "%d", threads)
-		for _, mk := range []func() machine.Manager{newMM, newHeMem, heThreads} {
-			m := machine.New(machine.DefaultConfig(), mk())
+	systems := []namedMgr{{"MM", newMM}, {"HeMem(DMA)", newHeMem}, {"HeMem(4 copy thr)", heThreads}}
+	counts := []int{1, 4, 8, 12, 16, 20, 21, 22, 24}
+	rows := make([]string, len(counts))
+	for i, threads := range counts {
+		rows[i] = fmt.Sprintf("%d", threads)
+	}
+	scoreGrid(w, NewSweep("fig7", o),
+		"threads\tMM\tHeMem(DMA)\tHeMem(4 copy thr)",
+		rows, systems,
+		func(row int, sys namedMgr) float64 {
+			m := machine.New(machine.DefaultConfig(), sys.mk())
 			g := gups.New(m, gups.Config{
-				Threads: threads, WorkingSet: 512 * sim.GB, HotSet: 16 * sim.GB, Seed: o.seed(),
+				Threads: counts[row], WorkingSet: 512 * sim.GB, HotSet: 16 * sim.GB, Seed: o.seed(),
 			})
 			m.Warm()
 			m.Run(warm)
@@ -112,12 +146,9 @@ func runFig7(w io.Writer, o Opts) {
 			// the measurement window.
 			g.ShiftHotSet(4*sim.GB, o.seed()+31)
 			m.Run(measure)
-			fmt.Fprintf(tw, "\t%.4f", g.Score())
-		}
-		fmt.Fprintln(tw)
-	}
-	tw.Flush()
-	fmt.Fprintln(w, "GUPS; paper: beyond 21 threads HeMem's background threads cost ~10% vs MM; copy threads cost a further 14%")
+			return g.Score()
+		},
+		"GUPS; paper: beyond 21 threads HeMem's background threads cost ~10% vs MM; copy threads cost a further 14%")
 }
 
 // runTab2: the asymmetric read/write experiment — 512 GB working set,
@@ -129,22 +160,17 @@ func runTab2(w io.Writer, o Opts) {
 		Threads: 16, WorkingSet: 512 * sim.GB, HotSet: 256 * sim.GB,
 		WriteOnlyHot: 128 * sim.GB, Seed: o.seed(),
 	}
-	type row struct {
-		name  string
-		score float64
+	systems := []namedMgr{{"Nimble", newNimble}, {"MM", newMM}, {"HeMem", newHeMem}}
+	s := NewSweep("tab2", o)
+	for _, sys := range systems {
+		s.Cell(sys.name, func(CellInfo) any { return gupsRun(sys.mk(), cfg, warm, measure) })
 	}
-	var rows []row
-	for _, s := range []struct {
-		name string
-		mk   func() machine.Manager
-	}{{"Nimble", newNimble}, {"MM", newMM}, {"HeMem", newHeMem}} {
-		rows = append(rows, row{s.name, gupsRun(s.mk(), cfg, warm, measure)})
-	}
-	he := rows[len(rows)-1].score
+	res := s.Gather()
+	he := f64(res[len(res)-1])
 	tw := table(w)
 	fmt.Fprintln(tw, "System\tGUPS\tx")
-	for _, r := range rows {
-		fmt.Fprintf(tw, "%s\t%.4f\t%.2f\n", r.name, r.score, r.score/he)
+	for i, sys := range systems {
+		fmt.Fprintf(tw, "%s\t%.4f\t%.2f\n", sys.name, f64(res[i]), f64(res[i])/he)
 	}
 	tw.Flush()
 	fmt.Fprintln(w, "paper: Nimble 0.020 (0.36x), MM 0.048 (0.86x), HeMem 0.056 (1x)")
@@ -203,26 +229,29 @@ func runFig8(w io.Writer, o Opts) {
 		{"PT Scan + M. Sync", func(m *machine.Machine, g *gups.GUPS) machine.Manager { return ptscan.New(ptscan.HeMemPTSync()) }},
 		{"PT Scan + M. Async", func(m *machine.Machine, g *gups.GUPS) machine.Manager { return ptscan.New(ptscan.HeMemPTAsync()) }},
 	}
+	s := NewSweep("fig8", o)
+	for _, b := range bars {
+		s.Cell(b.name, func(CellInfo) any {
+			// Two-phase construction: the manager needs the workload's
+			// hot set, which needs the machine.
+			boot := machine.New(machine.DefaultConfig(), xmem.NVMOnly())
+			g := gups.New(boot, gcfg)
+			mgr := b.mk(boot, g)
+			boot.Mgr = mgr
+			mgr.Attach(boot)
+			boot.Warm()
+			boot.Run(warm)
+			g.ResetScore()
+			boot.Run(measure)
+			return g.Score()
+		})
+	}
+	res := s.Gather()
 	tw := table(w)
 	fmt.Fprintln(tw, "Configuration\tGUPS\tvs Opt")
-	var opt float64
-	for _, b := range bars {
-		// Two-phase construction: the manager needs the workload's hot
-		// set, which needs the machine.
-		boot := machine.New(machine.DefaultConfig(), xmem.NVMOnly())
-		g := gups.New(boot, gcfg)
-		mgr := b.mk(boot, g)
-		boot.Mgr = mgr
-		mgr.Attach(boot)
-		boot.Warm()
-		boot.Run(warm)
-		g.ResetScore()
-		boot.Run(measure)
-		score := g.Score()
-		if b.name == "Opt" {
-			opt = score
-		}
-		fmt.Fprintf(tw, "%s\t%.4f\t%.2f\n", b.name, score, score/opt)
+	opt := f64(res[0])
+	for i, b := range bars {
+		fmt.Fprintf(tw, "%s\t%.4f\t%.2f\n", b.name, f64(res[i]), f64(res[i])/opt)
 	}
 	tw.Flush()
 	fmt.Fprintln(w, "paper: PEBS ~= Opt; PT Scan -18%; PEBS+Migrate within 5.9% of Opt; M.Sync 18% of Opt; M.Async 43% of Opt")
@@ -232,45 +261,44 @@ func runFig8(w io.Writer, o Opts) {
 func runFig9(w io.Writer, o Opts) {
 	pre := o.scale(60, 150) * sim.Second
 	post := o.scale(60, 150) * sim.Second
-	systems := []struct {
-		name string
-		mk   func() machine.Manager
-	}{{"MM", newMM}, {"HeMem", newHeMem}, {"Nimble", newNimble}, {"HeMem-PT-Async", newPTAsync}}
-
-	var series [][]float64
-	var times []int64
-	for _, s := range systems {
-		m := machine.New(machine.DefaultConfig(), s.mk())
-		g := gups.New(m, gups.Config{
-			Threads: 16, WorkingSet: 512 * sim.GB, HotSet: 16 * sim.GB, Seed: o.seed(),
-		})
-		m.Warm()
-		m.Run(pre)
-		g.ShiftHotSet(4*sim.GB, o.seed()+99)
-		m.Run(post)
-		ts := m.Throughput(g.Name())
-		var vals []float64
-		if len(series) == 0 {
-			step := (pre + post) / 24
-			for t := step; t <= pre+post; t += step {
-				times = append(times, t)
-			}
-		}
-		for _, t := range times {
-			vals = append(vals, ts.At(t)/1e9)
-		}
-		series = append(series, vals)
+	systems := []namedMgr{
+		{"MM", newMM}, {"HeMem", newHeMem}, {"Nimble", newNimble}, {"HeMem-PT-Async", newPTAsync},
 	}
+	var times []int64
+	step := (pre + post) / 24
+	for t := step; t <= pre+post; t += step {
+		times = append(times, t)
+	}
+	s := NewSweep("fig9", o)
+	for _, sys := range systems {
+		s.Cell(sys.name, func(CellInfo) any {
+			m := machine.New(machine.DefaultConfig(), sys.mk())
+			g := gups.New(m, gups.Config{
+				Threads: 16, WorkingSet: 512 * sim.GB, HotSet: 16 * sim.GB, Seed: o.seed(),
+			})
+			m.Warm()
+			m.Run(pre)
+			g.ShiftHotSet(4*sim.GB, o.seed()+99)
+			m.Run(post)
+			ts := m.Throughput(g.Name())
+			vals := make([]float64, 0, len(times))
+			for _, t := range times {
+				vals = append(vals, ts.At(t)/1e9)
+			}
+			return vals
+		})
+	}
+	res := s.Gather()
 	tw := table(w)
 	fmt.Fprint(tw, "t(s)")
-	for _, s := range systems {
-		fmt.Fprintf(tw, "\t%s", s.name)
+	for _, sys := range systems {
+		fmt.Fprintf(tw, "\t%s", sys.name)
 	}
 	fmt.Fprintln(tw)
 	for i, t := range times {
 		fmt.Fprintf(tw, "%d", t/sim.Second)
-		for _, vals := range series {
-			fmt.Fprintf(tw, "\t%.4f", vals[i])
+		for _, vals := range res {
+			fmt.Fprintf(tw, "\t%.4f", vals.([]float64)[i])
 		}
 		fmt.Fprintln(tw)
 	}
@@ -282,21 +310,33 @@ func runFig9(w io.Writer, o Opts) {
 func runFig10(w io.Writer, o Opts) {
 	warm := o.scale(60, 240) * sim.Second
 	measure := o.scale(15, 60) * sim.Second
+	periods := []float64{250, 1000, 5000, 20000, 100000, 500000, 1000000}
+	type periodRes struct {
+		score, dropped float64
+	}
+	s := NewSweep("fig10", o)
+	for _, period := range periods {
+		s.Cell(fmt.Sprintf("period=%.0f", period), func(CellInfo) any {
+			cfg := core.DefaultConfig()
+			cfg.SamplePeriod = period
+			h := core.New(cfg)
+			m := machine.New(machine.DefaultConfig(), h)
+			g := gups.New(m, gups.Config{
+				Threads: 16, WorkingSet: 512 * sim.GB, HotSet: 16 * sim.GB, Seed: o.seed(),
+			})
+			m.Warm()
+			m.Run(warm)
+			g.ResetScore()
+			m.Run(measure)
+			return periodRes{g.Score(), h.Buffer().DropFraction()}
+		})
+	}
+	res := s.Gather()
 	tw := table(w)
 	fmt.Fprintln(tw, "period\tGUPS\tdropped")
-	for _, period := range []float64{250, 1000, 5000, 20000, 100000, 500000, 1000000} {
-		cfg := core.DefaultConfig()
-		cfg.SamplePeriod = period
-		h := core.New(cfg)
-		m := machine.New(machine.DefaultConfig(), h)
-		g := gups.New(m, gups.Config{
-			Threads: 16, WorkingSet: 512 * sim.GB, HotSet: 16 * sim.GB, Seed: o.seed(),
-		})
-		m.Warm()
-		m.Run(warm)
-		g.ResetScore()
-		m.Run(measure)
-		fmt.Fprintf(tw, "%.0f\t%.4f\t%.2f%%\n", period, g.Score(), h.Buffer().DropFraction()*100)
+	for i, period := range periods {
+		r := res[i].(periodRes)
+		fmt.Fprintf(tw, "%.0f\t%.4f\t%.2f%%\n", period, r.score, r.dropped*100)
 	}
 	tw.Flush()
 	fmt.Fprintln(w, "paper: up to 30% drops below 1k; 5k-100k good; >100k too coarse to track the hot set")
@@ -306,16 +346,23 @@ func runFig10(w io.Writer, o Opts) {
 func runFig11(w io.Writer, o Opts) {
 	warm := o.scale(60, 240) * sim.Second
 	measure := o.scale(15, 60) * sim.Second
+	thresholds := []int{2, 4, 6, 8, 12, 16, 24, 32}
+	s := NewSweep("fig11", o)
+	for _, th := range thresholds {
+		s.Cell(fmt.Sprintf("threshold=%d", th), func(CellInfo) any {
+			cfg := core.DefaultConfig()
+			cfg.HotReadThreshold = th
+			cfg.HotWriteThreshold = (th + 1) / 2
+			return gupsRun(core.New(cfg), gups.Config{
+				Threads: 16, WorkingSet: 512 * sim.GB, HotSet: 16 * sim.GB, Seed: o.seed(),
+			}, warm, measure)
+		})
+	}
+	res := s.Gather()
 	tw := table(w)
 	fmt.Fprintln(tw, "threshold\tGUPS")
-	for _, th := range []int{2, 4, 6, 8, 12, 16, 24, 32} {
-		cfg := core.DefaultConfig()
-		cfg.HotReadThreshold = th
-		cfg.HotWriteThreshold = (th + 1) / 2
-		score := gupsRun(core.New(cfg), gups.Config{
-			Threads: 16, WorkingSet: 512 * sim.GB, HotSet: 16 * sim.GB, Seed: o.seed(),
-		}, warm, measure)
-		fmt.Fprintf(tw, "%d\t%.4f\n", th, score)
+	for i, th := range thresholds {
+		fmt.Fprintf(tw, "%d\t%.4f\n", th, f64(res[i]))
 	}
 	tw.Flush()
 	fmt.Fprintln(w, "paper: low thresholds overestimate the hot set; 6-20 good; >20 underestimates (slow identification)")
@@ -326,22 +373,30 @@ func runFig11(w io.Writer, o Opts) {
 func runFig12(w io.Writer, o Opts) {
 	pre := o.scale(90, 150) * sim.Second
 	post := o.scale(60, 150) * sim.Second
+	thresholds := []int{8, 10, 18, 30}
+	s := NewSweep("fig12", o)
+	for _, ct := range thresholds {
+		s.Cell(fmt.Sprintf("cooling=%d", ct), func(CellInfo) any {
+			cfg := core.DefaultConfig()
+			cfg.CoolThreshold = ct
+			h := core.New(cfg)
+			m := machine.New(machine.DefaultConfig(), h)
+			g := gups.New(m, gups.Config{
+				Threads: 16, WorkingSet: 512 * sim.GB, HotSet: 16 * sim.GB, Seed: o.seed(),
+			})
+			m.Warm()
+			m.Run(pre)
+			g.ShiftHotSet(4*sim.GB, o.seed()+7)
+			g.ResetScore()
+			m.Run(post)
+			return g.Score()
+		})
+	}
+	res := s.Gather()
 	tw := table(w)
 	fmt.Fprintln(tw, "cooling\tGUPS(after shift)")
-	for _, ct := range []int{8, 10, 18, 30} {
-		cfg := core.DefaultConfig()
-		cfg.CoolThreshold = ct
-		h := core.New(cfg)
-		m := machine.New(machine.DefaultConfig(), h)
-		g := gups.New(m, gups.Config{
-			Threads: 16, WorkingSet: 512 * sim.GB, HotSet: 16 * sim.GB, Seed: o.seed(),
-		})
-		m.Warm()
-		m.Run(pre)
-		g.ShiftHotSet(4*sim.GB, o.seed()+7)
-		g.ResetScore()
-		m.Run(post)
-		fmt.Fprintf(tw, "%d\t%.4f\n", ct, g.Score())
+	for i, ct := range thresholds {
+		fmt.Fprintf(tw, "%d\t%.4f\n", ct, f64(res[i]))
 	}
 	tw.Flush()
 	fmt.Fprintln(w, "paper: cooling == hot threshold (8) too aggressive; higher adapts faster; 30 keeps too many pages hot")

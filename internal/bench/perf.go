@@ -6,6 +6,7 @@ import (
 	"io"
 	"math"
 	"runtime"
+	"strings"
 	"time"
 
 	"github.com/tieredmem/hemem/internal/gap"
@@ -18,11 +19,13 @@ import (
 // This file is the performance harness (as opposed to the fidelity
 // experiments in the rest of the package): it measures how fast the
 // simulator itself runs — wall-clock, simulated-ns per wall-second, and
-// allocations — over the three workload families the paper evaluates, and
+// allocations — over the three workload families the paper evaluates,
 // verifies that repeated seeded runs produce bit-identical simulated
-// results. `make bench` writes the report to BENCH_pr2.json so perf
-// regressions in the hot path (sampling, policy tick, migration queue)
-// show up as a diffable artifact.
+// results, and times the full experiment suite serially vs on the
+// parallel sweep engine (sweep.go), checking the outputs byte-identical.
+// `make bench` writes the report to BENCH_pr3.json so perf regressions in
+// the hot path (sampling, policy tick, migration queue) and in the
+// harness show up as a diffable artifact.
 
 // PerfResult is one scenario's measurement.
 type PerfResult struct {
@@ -46,6 +49,27 @@ type PerfResult struct {
 	Deterministic bool   `json:"deterministic"`
 }
 
+// SweepPerf measures the parallel sweep engine: the full experiment
+// suite run serially (one worker) and again on a worker pool, with the
+// outputs compared byte for byte.
+type SweepPerf struct {
+	// Experiments is the id set measured ("all").
+	Experiments string `json:"experiments"`
+	// Jobs is the worker pool size of the parallel leg.
+	Jobs int `json:"jobs"`
+	// SerialSeconds and ParallelSeconds are the wall clocks of the two
+	// legs; Speedup is their ratio. On a single-core runner the ratio
+	// stays near 1 — interpret it against NumCPU in the report header.
+	SerialSeconds   float64 `json:"serial_wall_seconds"`
+	ParallelSeconds float64 `json:"parallel_wall_seconds"`
+	Speedup         float64 `json:"speedup"`
+	// IdenticalOutput reports whether the two legs produced byte-identical
+	// experiment output (they must; see sweep.go).
+	IdenticalOutput bool `json:"identical_output"`
+	// OutputBytes is the size of the rendered suite output.
+	OutputBytes int `json:"output_bytes"`
+}
+
 // PerfReport is the full harness output.
 type PerfReport struct {
 	GoVersion string       `json:"go_version"`
@@ -54,6 +78,7 @@ type PerfReport struct {
 	NumCPU    int          `json:"num_cpu"`
 	Seed      uint64       `json:"seed"`
 	Cases     []PerfResult `json:"cases"`
+	Sweep     *SweepPerf   `json:"sweep,omitempty"`
 }
 
 // mix folds v into an FNV-1a style accumulator.
@@ -178,7 +203,39 @@ func RunPerf(o Opts) PerfReport {
 			Deterministic: d0 == d1,
 		})
 	}
+	rep.Sweep = runSweepPerf(o)
 	return rep
+}
+
+// runSweepPerf times the full experiment suite serially and on the worker
+// pool and verifies the outputs match byte for byte.
+func runSweepPerf(o Opts) *SweepPerf {
+	runAll := func(jobs int) (string, float64) {
+		var buf strings.Builder
+		ro := o
+		ro.Jobs = jobs
+		start := time.Now()
+		for _, e := range All() {
+			fmt.Fprintf(&buf, "=== %s ===\n", e.ID)
+			e.Run(&buf, ro)
+		}
+		return buf.String(), time.Since(start).Seconds()
+	}
+	jobs := runtime.GOMAXPROCS(0)
+	if jobs < 4 {
+		jobs = 4
+	}
+	serialOut, serialWall := runAll(1)
+	parOut, parWall := runAll(jobs)
+	return &SweepPerf{
+		Experiments:     "all",
+		Jobs:            jobs,
+		SerialSeconds:   serialWall,
+		ParallelSeconds: parWall,
+		Speedup:         serialWall / parWall,
+		IdenticalOutput: serialOut == parOut,
+		OutputBytes:     len(serialOut),
+	}
 }
 
 // WritePerf runs the harness and writes the JSON report plus a short
@@ -192,6 +249,14 @@ func WritePerf(jsonOut io.Writer, log io.Writer, o Opts) error {
 		}
 		fmt.Fprintf(log, "%-8s %6.2fs wall  %8.2e sim-ns/s  %9d allocs  score=%.4g  %s\n",
 			c.ID, c.WallSeconds, c.SimNSPerSec, c.Allocs, c.Score, det)
+	}
+	if s := rep.Sweep; s != nil {
+		ident := "byte-identical"
+		if !s.IdenticalOutput {
+			ident = "OUTPUT MISMATCH"
+		}
+		fmt.Fprintf(log, "sweep    serial %.1fs  jobs=%d %.1fs  speedup %.2fx  %s\n",
+			s.SerialSeconds, s.Jobs, s.ParallelSeconds, s.Speedup, ident)
 	}
 	enc := json.NewEncoder(jsonOut)
 	enc.SetIndent("", "  ")

@@ -62,6 +62,9 @@ type Driver struct {
 	lastNow int64
 	obsOps  float64
 	obsTime int64
+	// branchBuf is scratch for machine.AppendBranches: OnOps prices the
+	// latency mixture five times per quantum, which must not allocate.
+	branchBuf []machine.CostBranch
 }
 
 // NewDriver maps the store's memory on m and registers the workload. The
@@ -220,7 +223,8 @@ func (d *Driver) OnOps(now int64, ops float64, opTime float64) {
 		} else {
 			comp = machine.Component{Set: set, WriteBytes: d.cfg.ValueSize, Pattern: mem.Sequential}
 		}
-		for _, br := range d.m.Branches(comp) {
+		d.branchBuf = d.m.AppendBranches(d.branchBuf[:0], comp)
+		for _, br := range d.branchBuf {
 			n := uint64(ops * prob * br.Prob)
 			if n > 0 {
 				d.latency.ObserveN(base+(table+br.Time)*inflate, n)
@@ -240,7 +244,8 @@ func (d *Driver) OnOps(now int64, ops float64, opTime float64) {
 // branchMean returns the expected cost of one occurrence of c.
 func (d *Driver) branchMean(c machine.Component) float64 {
 	var t float64
-	for _, br := range d.m.Branches(c) {
+	d.branchBuf = d.m.AppendBranches(d.branchBuf[:0], c)
+	for _, br := range d.branchBuf {
 		t += br.Prob * br.Time
 	}
 	return t

@@ -110,6 +110,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	}()
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
+	sc := &connScratch{}
 	for {
 		line, err := readLine(r)
 		if err != nil {
@@ -121,9 +122,9 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		switch string(fields[0]) {
 		case "get", "gets":
-			s.handleGet(w, fields[1:])
+			s.handleGet(w, fields[1:], sc)
 		case "set":
-			if err := s.handleSet(r, w, fields[1:]); err != nil {
+			if err := s.handleSet(r, w, fields[1:], sc); err != nil {
 				return
 			}
 		case "delete":
@@ -151,16 +152,31 @@ func readLine(r *bufio.Reader) ([]byte, error) {
 	return bytes.TrimRight(line, "\r\n"), nil
 }
 
+// connScratch holds one connection's reusable per-op buffers: the store
+// copies keys and values on Set and GetAppend appends into a caller
+// buffer, so the request loop can serve steady-state traffic without
+// per-op allocation.
+type connScratch struct {
+	val  []byte // GET: fetched flags+value bytes
+	data []byte // SET: 4-byte flags prefix + payload + trailing \r\n
+}
+
+// sized returns b with length n, reallocating only when capacity is short.
+func sized(b []byte, n int) []byte {
+	if cap(b) < n {
+		return make([]byte, n)
+	}
+	return b[:n]
+}
+
 // Stored value layout: the 32-bit client flags are kept as a 4-byte
-// little-endian prefix so gets can echo them back.
-func encodeFlags(flags uint32, value []byte) []byte {
-	out := make([]byte, 4+len(value))
+// little-endian prefix so gets can echo them back. putFlags writes the
+// prefix into out[:4].
+func putFlags(out []byte, flags uint32) {
 	out[0] = byte(flags)
 	out[1] = byte(flags >> 8)
 	out[2] = byte(flags >> 16)
 	out[3] = byte(flags >> 24)
-	copy(out[4:], value)
-	return out
 }
 
 func decodeFlags(stored []byte) (uint32, []byte) {
@@ -171,10 +187,11 @@ func decodeFlags(stored []byte) (uint32, []byte) {
 	return f, stored[4:]
 }
 
-func (s *Server) handleGet(w *bufio.Writer, keys [][]byte) {
+func (s *Server) handleGet(w *bufio.Writer, keys [][]byte, sc *connScratch) {
 	for _, key := range keys {
 		s.gets.Add(1)
-		stored, ok := s.store.Get(key)
+		stored, ok := s.store.GetAppend(sc.val[:0], key)
+		sc.val = stored[:0]
 		if !ok {
 			s.misses.Add(1)
 			continue
@@ -187,7 +204,7 @@ func (s *Server) handleGet(w *bufio.Writer, keys [][]byte) {
 	w.WriteString("END\r\n")
 }
 
-func (s *Server) handleSet(r *bufio.Reader, w *bufio.Writer, args [][]byte) error {
+func (s *Server) handleSet(r *bufio.Reader, w *bufio.Writer, args [][]byte, sc *connScratch) error {
 	// set <key> <flags> <exptime> <bytes> [noreply]
 	if len(args) < 4 {
 		w.WriteString("CLIENT_ERROR bad command line format\r\n")
@@ -201,18 +218,23 @@ func (s *Server) handleSet(r *bufio.Reader, w *bufio.Writer, args [][]byte) erro
 		return nil
 	}
 	noreply := len(args) >= 5 && string(args[4]) == "noreply"
-	data := make([]byte, size+2)
-	if _, err := io.ReadFull(r, data); err != nil {
+	// The stored layout is the 4-byte flags prefix followed by the value,
+	// so read the payload straight into the scratch buffer at offset 4
+	// and hand the store a subslice — Set copies, so the buffer is free
+	// for the next request.
+	sc.data = sized(sc.data, 4+size+2)
+	putFlags(sc.data, uint32(flags))
+	if _, err := io.ReadFull(r, sc.data[4:]); err != nil {
 		return err
 	}
-	if !bytes.HasSuffix(data, []byte("\r\n")) {
+	if !bytes.HasSuffix(sc.data, []byte("\r\n")) {
 		if !noreply {
 			w.WriteString("CLIENT_ERROR bad data chunk\r\n")
 		}
 		return nil
 	}
 	s.sets.Add(1)
-	if err := s.store.Set(key, encodeFlags(uint32(flags), data[:size])); err != nil {
+	if err := s.store.Set(key, sc.data[:4+size]); err != nil {
 		if !noreply {
 			w.WriteString("SERVER_ERROR object too large for cache\r\n")
 		}

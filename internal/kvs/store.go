@@ -218,18 +218,28 @@ func (s *Store) findEntry(h uint64, key []byte) *entry {
 
 // Get returns a copy of the value stored under key.
 func (s *Store) Get(key []byte) ([]byte, bool) {
+	out, ok := s.GetAppend(nil, key)
+	if !ok {
+		return nil, false
+	}
+	return out, true
+}
+
+// GetAppend appends the value stored under key to dst and returns the
+// extended slice, so per-op callers (the server's GET path) can reuse one
+// buffer across requests instead of allocating a copy per Get. On a miss
+// dst is returned unchanged with ok false.
+func (s *Store) GetAppend(dst []byte, key []byte) ([]byte, bool) {
 	h := fnv1a(key)
 	l := s.stripe(h)
 	l.RLock()
 	defer l.RUnlock()
 	e := s.findEntry(h, key)
 	if e == nil {
-		return nil, false
+		return dst, false
 	}
 	_, v := s.readItem(e.ref)
-	out := make([]byte, len(v))
-	copy(out, v)
-	return out, true
+	return append(dst, v...), true
 }
 
 // Set stores value under key, replacing any previous value.

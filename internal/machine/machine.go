@@ -798,13 +798,21 @@ func (m *Machine) PlacementCost(c Component) CompCost {
 // otherwise the placement split — the DRAM-resident fraction of the set at
 // the DRAM cost and the rest at the NVM cost.
 func (m *Machine) Branches(c Component) []CostBranch {
+	return m.AppendBranches(nil, c)
+}
+
+// AppendBranches is Branches with a caller-supplied buffer: the outcomes
+// are appended to dst and the extended slice returned, so per-op callers
+// (workload OnOps hooks pricing latency distributions every quantum) can
+// reuse a scratch slice instead of allocating on every call.
+func (m *Machine) AppendBranches(dst []CostBranch, c Component) []CostBranch {
 	if b, ok := m.Mgr.(Brancher); ok {
-		return b.ComponentBranches(c)
+		return append(dst, b.ComponentBranches(c)...)
 	}
 	if c.Set == nil || c.Set.Len() == 0 {
-		return []CostBranch{{Prob: 1, Time: 1}}
+		return append(dst, CostBranch{Prob: 1, Time: 1})
 	}
-	var out []CostBranch
+	base := len(dst)
 	for _, t := range []vm.Tier{vm.TierDRAM, vm.TierNVM, vm.TierDisk} {
 		f := c.Set.Frac(t)
 		if t == vm.TierNVM {
@@ -813,12 +821,12 @@ func (m *Machine) Branches(c Component) []CostBranch {
 		if f == 0 {
 			continue
 		}
-		out = append(out, CostBranch{Prob: f, Time: m.CostIn(c, t)})
+		dst = append(dst, CostBranch{Prob: f, Time: m.CostIn(c, t)})
 	}
-	if len(out) == 0 {
-		out = []CostBranch{{Prob: 1, Time: m.CostIn(c, vm.TierNVM)}}
+	if len(dst) == base {
+		dst = append(dst, CostBranch{Prob: 1, Time: m.CostIn(c, vm.TierNVM)})
 	}
-	return out
+	return dst
 }
 
 // CostIn prices one occurrence of c assuming its pages reside in tier t.

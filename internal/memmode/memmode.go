@@ -70,6 +70,11 @@ type MemoryMode struct {
 
 	cacheSets float64
 	zones     map[*vm.PageSet]*zone
+	// order lists zones in first-observed order. The model must never
+	// iterate the zones map: map order would randomize the RNG draw
+	// sequence and float summation order in refreshModel, making MM
+	// results differ run to run.
+	order     []*zone
 	lastModel int64
 	// ModelRefresh controls how often the Monte-Carlo occupancy model is
 	// recomputed (simulated ns).
@@ -117,6 +122,7 @@ func (mm *MemoryMode) ObserveTraffic(now int64, comps []machine.Component, occRa
 		if !ok {
 			z = &zone{set: c.Set, lines: float64(c.Set.Bytes() / lineSize)}
 			mm.zones[c.Set] = z
+			mm.order = append(mm.order, z)
 		}
 		z.pattern = c.Pattern
 		rl := occRates[i] * linesOf(c.ReadBytes)
@@ -147,8 +153,8 @@ func linesOf(bytes int64) float64 {
 // refreshModel recomputes per-zone hit rates and writeback expectations by
 // Monte Carlo over cache-set compositions.
 func (mm *MemoryMode) refreshModel() {
-	zones := make([]*zone, 0, len(mm.zones))
-	for _, z := range mm.zones {
+	zones := make([]*zone, 0, len(mm.order))
+	for _, z := range mm.order {
 		if z.perLineRate() > 0 {
 			zones = append(zones, z)
 		}

@@ -106,3 +106,24 @@ func TestWriteSkewMMvsHeMem(t *testing.T) {
 		t.Errorf("write skew: HeMem %.4f should beat MM %.4f (paper: MM = 0.86× HeMem)", heScore, mmScore)
 	}
 }
+
+// Identically seeded multi-zone runs must reproduce bit-identical scores
+// and hit rates. The occupancy model samples zones in first-observed
+// order; iterating the zones map instead would randomize the RNG draw
+// sequence and summation order, making MM results differ run to run.
+func TestMultiZoneDeterminism(t *testing.T) {
+	run := func() (float64, float64) {
+		mm := memmode.New()
+		score, _, g := runGUPS(mm, gups.Config{
+			Threads: 16, WorkingSet: 64 * sim.GB, HotSet: 8 * sim.GB, Seed: 17,
+		}, 2*sim.Second)
+		return score, mm.HitRate(g.HotPages())
+	}
+	s0, h0 := run()
+	for i := 0; i < 3; i++ {
+		if s1, h1 := run(); s1 != s0 || h1 != h0 {
+			t.Fatalf("rerun %d: score %v vs %v, hot hit rate %v vs %v — multi-zone MM model is order-dependent",
+				i, s1, s0, h1, h0)
+		}
+	}
+}
