@@ -75,8 +75,8 @@ func TestPublicGraph(t *testing.T) {
 }
 
 func TestPublicExperiments(t *testing.T) {
-	if len(hemem.Experiments()) != 20 {
-		t.Fatalf("experiments = %d, want 20", len(hemem.Experiments()))
+	if len(hemem.Experiments()) != 21 {
+		t.Fatalf("experiments = %d, want 21", len(hemem.Experiments()))
 	}
 	var buf bytes.Buffer
 	if !hemem.RunExperiment("tab1", &buf, hemem.ExperimentOpts{}) {
@@ -87,5 +87,32 @@ func TestPublicExperiments(t *testing.T) {
 	}
 	if hemem.RunExperiment("bogus", &buf, hemem.ExperimentOpts{}) {
 		t.Fatal("bogus experiment accepted")
+	}
+}
+
+func TestPublicTierTable(t *testing.T) {
+	mcfg := hemem.DefaultMachineConfig()
+	mcfg.Tiers = []hemem.TierDesc{
+		{ID: hemem.TierDRAM, Capacity: 4 * hemem.GB},
+		{ID: hemem.TierCXL, Capacity: 8 * hemem.GB},
+		{ID: hemem.TierNVM, Capacity: 64 * hemem.GB, UEVictim: true},
+	}
+	mgr := hemem.NewHeMem(hemem.DefaultHeMemConfig())
+	m := hemem.NewMachine(mcfg, mgr)
+	r := m.AS.Map("data", 8*hemem.GB)
+	m.Warm()
+	if r.Bytes(hemem.TierCXL) == 0 {
+		t.Fatal("no pages landed on the CXL middle tier")
+	}
+	if got := mgr.Used(hemem.TierCXL); got != r.Bytes(hemem.TierCXL) {
+		t.Fatalf("manager CXL accounting %d != resident %d", got, r.Bytes(hemem.TierCXL))
+	}
+	// Custom tier registration is idempotent and Stringer-visible.
+	id := hemem.RegisterTier("hbm")
+	if again := hemem.RegisterTier("hbm"); again != id {
+		t.Fatalf("re-registration moved the tier id: %v vs %v", again, id)
+	}
+	if id.String() != "hbm" {
+		t.Fatalf("custom tier name = %q", id.String())
 	}
 }

@@ -96,9 +96,16 @@ func main() {
 	}
 
 	if *list || *exp == "" {
+		exps := bench.All()
+		width := 0
+		for _, e := range exps {
+			if len(e.ID) > width {
+				width = len(e.ID)
+			}
+		}
 		fmt.Println("experiments:")
-		for _, e := range bench.All() {
-			fmt.Printf("  %-7s %s\n", e.ID, e.Title)
+		for _, e := range exps {
+			fmt.Printf("  %-*s  %s\n", width, e.ID, e.Title)
 		}
 		if *exp == "" {
 			fmt.Println("\nrun with -exp <id> or -exp all")

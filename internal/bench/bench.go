@@ -81,13 +81,23 @@ func register(id, title string, run func(w io.Writer, o Opts)) {
 	registry[id] = Experiment{ID: id, Title: title, Run: run}
 }
 
+// IDs returns every registered experiment id, sorted. It is the single
+// inventory behind All, ByID's error message, and the CLI's -list.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for k := range registry {
+		ids = append(ids, k)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
 // All returns every registered experiment in id order.
 func All() []Experiment {
 	out := make([]Experiment, 0, len(registry))
-	for _, e := range registry {
-		out = append(out, e)
+	for _, id := range IDs() {
+		out = append(out, registry[id])
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
@@ -96,12 +106,7 @@ func All() []Experiment {
 func ByID(id string) (Experiment, error) {
 	e, ok := registry[id]
 	if !ok {
-		ids := make([]string, 0, len(registry))
-		for k := range registry {
-			ids = append(ids, k)
-		}
-		sort.Strings(ids)
-		return Experiment{}, fmt.Errorf("unknown experiment %q; valid ids: %s", id, strings.Join(ids, ", "))
+		return Experiment{}, fmt.Errorf("unknown experiment %q; valid ids: %s", id, strings.Join(IDs(), ", "))
 	}
 	return e, nil
 }

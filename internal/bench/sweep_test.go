@@ -3,6 +3,8 @@ package bench
 import (
 	"bytes"
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -148,6 +150,32 @@ func TestPerfCasesDeterministic(t *testing.T) {
 			_, _, d1 := c.run(17)
 			if d0 != d1 {
 				t.Fatalf("%s: digests differ across identically seeded runs: %016x vs %016x", c.id, d0, d1)
+			}
+		})
+	}
+}
+
+// The tier-table refactor is load-bearing only if the classic two-tier
+// testbed is untouched: every canonical experiment must render byte for
+// byte what the pre-refactor code produced. testdata/golden-*.txt were
+// captured from the default config before the tier table landed; a diff
+// here means the default DRAM+NVM(+swap) behavior drifted.
+func TestGoldenOutputsUnchanged(t *testing.T) {
+	micro := []string{"tab1", "fig1", "fig2", "fig3"}
+	full := []string{"ext-swap", "fig8", "tab2"}
+	ids := micro
+	if !testing.Short() {
+		ids = append(ids, full...)
+	}
+	for _, id := range ids {
+		t.Run(id, func(t *testing.T) {
+			want, err := os.ReadFile(filepath.Join("testdata", "golden-"+id+".txt"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := runExp(t, id, 0)
+			if got != string(want) {
+				t.Fatalf("%s output drifted from golden capture:\n--- got ---\n%s\n--- want ---\n%s", id, got, want)
 			}
 		})
 	}

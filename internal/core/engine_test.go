@@ -65,7 +65,7 @@ func TestClassifierWriteThresholdIsHalf(t *testing.T) {
 		t.Fatal("page not write-heavy")
 	}
 	// Write-heavy pages sit at the front of the hot list.
-	if h.nvmHot.Front() != pi {
+	if h.hotList(vm.TierNVM).Front() != pi {
 		t.Fatal("write-heavy page not prioritized")
 	}
 }
@@ -129,7 +129,10 @@ func TestEngineAccountingInvariant(t *testing.T) {
 	r := m.AS.Map("data", 8*sim.GB)
 	m.Warm()
 	m.Run(2 * sim.Second)
-	listed := h.dramHot.Len() + h.dramCold.Len() + h.nvmHot.Len() + h.nvmCold.Len()
+	listed := 0
+	for i := range h.chain {
+		listed += h.hot[i].Len() + h.cold[i].Len()
+	}
 	inflight := m.Migrator.QueueLen()
 	if listed+inflight != len(r.Pages) {
 		t.Fatalf("listed %d + inflight %d != %d pages", listed, inflight, len(r.Pages))

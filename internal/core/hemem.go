@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"github.com/tieredmem/hemem/internal/dma"
 	"github.com/tieredmem/hemem/internal/machine"
@@ -30,8 +31,9 @@ type Config struct {
 	PEBSBufferCap int
 	// ReaderRate is the PEBS thread's record-processing capacity.
 	ReaderRate float64
-	// FreeDRAMTarget is the DRAM kept free for new allocations
-	// (paper: 1 GB).
+	// FreeDRAMTarget is the free-space watermark for the fastest tier
+	// (paper: 1 GB of DRAM kept free for new allocations). It is the
+	// back-compat default for FreeTargets on the machine's fastest tier.
 	FreeDRAMTarget int64
 	// MigRateCap bounds migration bandwidth (paper: 10 GB/s).
 	MigRateCap float64
@@ -57,17 +59,25 @@ type Config struct {
 	// BackgroundThreads is the core cost of HeMem's PEBS, policy, and
 	// fault threads while the manager runs.
 	BackgroundThreads float64
-	// PlaceFunc, when set, overrides the default DRAM-first placement on
-	// first touch while keeping tracking intact. Figure 8's "Opt" and
+	// PlaceFunc, when set, overrides the default fastest-first placement
+	// on first touch while keeping tracking intact. Figure 8's "Opt" and
 	// "PEBS" bars use it to place the known-hot set manually.
 	PlaceFunc func(p *vm.Page) vm.Tier
 	// EnableSwap adds the slowest tier the paper's §3.4 sketches: when
-	// NVM fills, the policy swaps the coldest NVM pages out to the block
-	// device, and swaps pages back in (to NVM) when traffic reaches them
-	// again. Off by default, as in the prototype.
+	// the slowest migratable tier fills, the policy swaps its coldest
+	// pages out to the block device, and swaps pages back in when
+	// traffic reaches them again. Off by default, as in the prototype.
 	EnableSwap bool
-	// FreeNVMTarget is the NVM kept free when swap is enabled.
+	// FreeNVMTarget is the back-compat free-space watermark for every
+	// migratable tier below the fastest (historically: the NVM kept free
+	// when swap is enabled). FreeTargets overrides it per tier.
 	FreeNVMTarget int64
+	// FreeTargets overrides the free-space watermark for individual
+	// tiers, keyed by TierID. Tiers absent from the map fall back to
+	// FreeDRAMTarget (fastest tier) or FreeNVMTarget (the rest), so a
+	// two-tier config needs no entries and longer chains can tune each
+	// link independently.
+	FreeTargets map[vm.TierID]int64
 	// AdaptiveSampling raises the PEBS sample period when the buffer
 	// overruns persistently (Figure 10's tradeoff: fewer samples beat
 	// silently losing the hot set to drops). Off by default so the
@@ -117,6 +127,11 @@ func (c Config) Validate() error {
 	if c.FreeDRAMTarget < 0 || c.FreeNVMTarget < 0 {
 		return fmt.Errorf("core: negative free-memory target")
 	}
+	for t, v := range c.FreeTargets {
+		if v < 0 {
+			return fmt.Errorf("core: negative FreeTargets[%v] %d", t, v)
+		}
+	}
 	if c.MigRateCap < 0 {
 		return fmt.Errorf("core: negative MigRateCap %v", c.MigRateCap)
 	}
@@ -150,7 +165,7 @@ type Stats struct {
 	SwapIns      int64
 	SwapOuts     int64
 	WPStallPages int64
-	// EmergencyPromotions counts pages evacuated from NVM after an
+	// EmergencyPromotions counts pages evacuated from a tier after an
 	// uncorrectable media error (also included in Promotions).
 	EmergencyPromotions int64
 	// PeriodRaises counts adaptive sample-period increases.
@@ -159,7 +174,11 @@ type Stats struct {
 
 // HeMem is the manager: it implements machine.Manager, consumes PEBS
 // samples, classifies pages into per-tier hot/cold FIFO queues, and runs
-// the 10 ms migration policy.
+// the migration policy every PolicyInterval. The policy is written against
+// the machine's tier table rather than a fixed DRAM/NVM pair: each
+// migratable tier holds a hot and a cold queue, demotions flow to the next
+// slower tier and promotions to the next faster one, so the same code
+// drives 2-, 3-, or 4-tier chains (e.g. DRAM+CXL+NVM) without changes.
 type HeMem struct {
 	cfg Config
 	m   *machine.Machine
@@ -172,13 +191,31 @@ type HeMem struct {
 	// (small kernel allocations).
 	pages []*PageInfo
 
-	dramHot, dramCold List
-	nvmHot, nvmCold   List
-	diskCold          List // swapped-out pages (EnableSwap)
+	// chain is the machine's migratable tiers, fastest first — the
+	// migration graph is this linear order (promote = previous entry,
+	// demote = next entry). swapTier is the §3.4 swap-only backing tier
+	// (TierNone when the table has none), reached only through
+	// swapPolicy, never through watermark demotion.
+	chain    []vm.TierID
+	caps     []int64 // capacity per chain position
+	swapTier vm.TierID
+	// tierRank maps a TierID to its chain position, or -1.
+	tierRank [vm.MaxTiers]int8
 
-	clock    uint64 // global cooling clock
-	dramUsed int64  // bytes placed in DRAM (committed, incl. in-flight)
-	nvmUsed  int64
+	// hot and cold are the per-tier FIFO queues, indexed by chain
+	// position. swapCold queues swapped-out pages; hot swap-tier pages
+	// queue on the slowest migratable tier's hot list so the swap-in
+	// policy moves them up before the promotion scan considers them.
+	hot, cold []List
+	swapCold  List
+
+	clock uint64 // global cooling clock
+	// used commits bytes per tier (including in-flight migrations, which
+	// are charged to their destination at enqueue time).
+	used [vm.MaxTiers]int64
+	// freeTarget is the per-chain-position free-space watermark resolved
+	// from Config.FreeTargets/FreeDRAMTarget/FreeNVMTarget at Attach.
+	freeTarget []int64
 	// pinned, managed, and released are indexed by Region.ID (dense
 	// per-address-space), replacing pointer-keyed maps on the page-in and
 	// policy hot paths.
@@ -267,10 +304,7 @@ func New(cfg Config) *HeMem {
 	if cfg.OverrunPatience <= 0 {
 		cfg.OverrunPatience = 5
 	}
-	h := &HeMem{cfg: cfg}
-	h.dramHot.Name, h.dramCold.Name = "dram-hot", "dram-cold"
-	h.nvmHot.Name, h.nvmCold.Name = "nvm-hot", "nvm-cold"
-	h.diskCold.Name = "disk-cold"
+	h := &HeMem{cfg: cfg, swapTier: vm.TierNone}
 	var err error
 	if h.buffer, err = pebs.NewBuffer(cfg.PEBSBufferCap); err == nil {
 		if h.sampler, err = pebs.NewSampler(cfg.SamplePeriod, h.buffer); err == nil {
@@ -300,10 +334,12 @@ func (h *HeMem) Sampler() *pebs.Sampler { return h.sampler }
 // Buffer exposes the PEBS buffer (drop statistics for Figure 10).
 func (h *HeMem) Buffer() *pebs.Buffer { return h.buffer }
 
-// Attach implements machine.Manager: wire the migrator backend and start
-// the policy timer.
+// Attach implements machine.Manager: build the per-tier queues from the
+// machine's tier table, wire the migrator backend, and start the policy
+// timer.
 func (h *HeMem) Attach(m *machine.Machine) {
 	h.m = m
+	h.initTiers()
 	m.Migrator.RateCap = h.cfg.MigRateCap
 	if !h.cfg.NoDMA {
 		m.Migrator.SetBackend(machine.DMABackend{Engine: dma.New(dma.DefaultConfig())})
@@ -316,6 +352,76 @@ func (h *HeMem) Attach(m *machine.Machine) {
 		m.Events.Schedule(now+h.cfg.PolicyInterval, tick)
 	}
 	m.Events.Schedule(m.Clock.Now()+h.cfg.PolicyInterval, tick)
+}
+
+// initTiers derives the migration chain, queues, and watermarks from the
+// machine's tier table.
+func (h *HeMem) initTiers() {
+	for i := range h.tierRank {
+		h.tierRank[i] = -1
+	}
+	h.chain = h.chain[:0]
+	h.caps = h.caps[:0]
+	h.swapTier = vm.TierNone
+	for _, td := range h.m.TierTable() {
+		if td.Swap {
+			if h.swapTier == vm.TierNone {
+				h.swapTier = td.ID
+			}
+			continue
+		}
+		if int(td.ID) < vm.MaxTiers {
+			h.tierRank[td.ID] = int8(len(h.chain))
+		}
+		h.chain = append(h.chain, td.ID)
+		h.caps = append(h.caps, td.Capacity)
+	}
+	if len(h.chain) == 0 {
+		panic("core: tier table has no migratable tiers")
+	}
+	h.hot = make([]List, len(h.chain))
+	h.cold = make([]List, len(h.chain))
+	h.freeTarget = make([]int64, len(h.chain))
+	for i, t := range h.chain {
+		name := strings.ToLower(t.String())
+		h.hot[i] = List{Name: name + "-hot", hot: true}
+		h.cold[i] = List{Name: name + "-cold"}
+		ft, ok := h.cfg.FreeTargets[t]
+		if !ok {
+			if i == 0 {
+				ft = h.cfg.FreeDRAMTarget
+			} else {
+				ft = h.cfg.FreeNVMTarget
+			}
+		}
+		h.freeTarget[i] = ft
+	}
+	if h.swapTier != vm.TierNone {
+		h.swapCold = List{Name: strings.ToLower(h.swapTier.String()) + "-cold"}
+	}
+}
+
+// rankOf returns t's chain position, or -1 (swap tier / untracked).
+func (h *HeMem) rankOf(t vm.Tier) int {
+	if int(t) >= 0 && int(t) < vm.MaxTiers {
+		return int(h.tierRank[t])
+	}
+	return -1
+}
+
+// addUsed adjusts the committed-byte counter for tier t.
+func (h *HeMem) addUsed(t vm.Tier, delta int64) {
+	if int(t) >= 0 && int(t) < vm.MaxTiers {
+		h.used[t] += delta
+	}
+}
+
+// moveUsed transfers a page's committed bytes from tier `from` to tier
+// `to` — the single accounting rule behind placement, promotion, demotion,
+// swap, and their unwinding (Release, OnMigrationFailed).
+func (h *HeMem) moveUsed(from, to vm.Tier, ps int64) {
+	h.addUsed(from, -ps)
+	h.addUsed(to, ps)
 }
 
 // info returns the tracking state for page id, or nil if unmanaged.
@@ -388,21 +494,22 @@ func (h *HeMem) Managed(r *vm.Region) bool {
 	return r.Size() >= h.cfg.LargeAllocThreshold && !regionFlag(h.pinned, r.ID)
 }
 
-// PinRegion marks a region as pinned to DRAM: its pages are always
-// allocated from DRAM and never demoted. This is HeMem's per-application
-// flexibility at work — the paper's priority FlexKVS instance keeps all of
-// its key-value pairs in DRAM this way (§5.2.2, Table 4).
+// PinRegion marks a region as pinned to the fastest tier: its pages are
+// always allocated from it and never demoted. This is HeMem's
+// per-application flexibility at work — the paper's priority FlexKVS
+// instance keeps all of its key-value pairs in DRAM this way (§5.2.2,
+// Table 4).
 func (h *HeMem) PinRegion(r *vm.Region) {
 	setRegionFlag(&h.pinned, r.ID, true)
 }
 
 // Release undoes all tracking and accounting for region r: its pages
 // leave the FIFO lists, in-flight migrations are cancelled (undoing their
-// enqueue-time commitments), and the committed DRAM/NVM bytes return to
-// the free pools. It implements machine.Releaser, backing
+// enqueue-time commitments), and the committed bytes of every tier return
+// to the free pools. It implements machine.Releaser, backing
 // machine.Machine.Unmap — without it a long-running multi-tenant machine
 // leaks committed bytes on every region teardown and eventually refuses
-// DRAM placement.
+// fast-tier placement.
 func (h *HeMem) Release(r *vm.Region) {
 	if regionFlag(h.released, r.ID) {
 		return
@@ -414,18 +521,7 @@ func (h *HeMem) Release(r *vm.Region) {
 			if dst, ok := h.m.Migrator.Cancel(p); ok {
 				// Undo the enqueue-time accounting exactly as
 				// OnMigrationFailed would.
-				switch {
-				case dst == vm.TierDRAM && p.Tier == vm.TierNVM:
-					h.dramUsed -= ps
-					h.nvmUsed += ps
-				case dst == vm.TierNVM && p.Tier == vm.TierDRAM:
-					h.dramUsed += ps
-					h.nvmUsed -= ps
-				case dst == vm.TierNVM && p.Tier == vm.TierDisk:
-					h.nvmUsed -= ps
-				case dst == vm.TierDisk && p.Tier == vm.TierNVM:
-					h.nvmUsed += ps
-				}
+				h.moveUsed(dst, p.Tier, ps)
 			}
 		}
 		if pi := h.info(p.ID); pi != nil {
@@ -434,11 +530,8 @@ func (h *HeMem) Release(r *vm.Region) {
 			}
 			h.pages[p.ID] = nil
 		}
-		switch p.Tier {
-		case vm.TierDRAM:
-			h.dramUsed -= ps
-		case vm.TierNVM:
-			h.nvmUsed -= ps
+		if p.Tier != vm.TierNone {
+			h.addUsed(p.Tier, -ps)
 		}
 	}
 	setRegionFlag(&h.pinned, r.ID, false)
@@ -446,49 +539,77 @@ func (h *HeMem) Release(r *vm.Region) {
 }
 
 // NVMUsed returns committed NVM bytes.
-func (h *HeMem) NVMUsed() int64 { return h.nvmUsed }
+func (h *HeMem) NVMUsed() int64 { return h.Used(vm.TierNVM) }
+
+// Used returns the committed bytes on tier t (including in-flight
+// migrations charged to their destination).
+func (h *HeMem) Used(t vm.Tier) int64 {
+	if int(t) >= 0 && int(t) < vm.MaxTiers {
+		return h.used[t]
+	}
+	return 0
+}
 
 // PageIn implements machine.Manager: the userfaultfd page-missing path.
-// Pinned and small regions stay in DRAM untracked; large regions are
-// managed, preferring DRAM while any is free and falling back to NVM
-// otherwise (§3.3).
+// Pinned and small regions stay in the fastest tier untracked; large
+// regions are managed, walking the chain fastest-first until a tier has
+// room (§3.3). The slowest migratable tier accepts the page
+// unconditionally unless swap is enabled, in which case overflow lands on
+// the swap tier.
 func (h *HeMem) PageIn(p *vm.Page) {
 	ps := h.m.Cfg.PageSize
+	fastest := h.chain[0]
 	if regionFlag(h.pinned, p.Region.ID) {
-		h.dramUsed += ps
-		p.SetTier(vm.TierDRAM)
+		h.addUsed(fastest, ps)
+		p.SetTier(fastest)
 		return
 	}
+	last := len(h.chain) - 1
 	if p.Region.Size() < h.cfg.LargeAllocThreshold && !regionFlag(h.managed, p.Region.ID) {
-		// Kernel-managed small allocation: keep in DRAM if at all
-		// possible.
-		if h.dramUsed+ps <= h.m.Cfg.DRAMSize {
-			h.dramUsed += ps
-			p.SetTier(vm.TierDRAM)
-		} else {
-			h.nvmUsed += ps
-			p.SetTier(vm.TierNVM)
+		// Kernel-managed small allocation: keep in fast memory if at
+		// all possible; overflow walks the chain and the slowest tier
+		// takes the page unconditionally (the kernel path never swaps).
+		for i := 0; i < last; i++ {
+			if h.used[h.chain[i]]+ps <= h.caps[i] {
+				h.addUsed(h.chain[i], ps)
+				p.SetTier(h.chain[i])
+				return
+			}
 		}
+		h.addUsed(h.chain[last], ps)
+		p.SetTier(h.chain[last])
 		return
 	}
 	pi := h.track(p)
-	want := vm.TierDRAM
+	want := fastest
 	if h.cfg.PlaceFunc != nil {
 		want = h.cfg.PlaceFunc(p)
 	}
-	switch {
-	case want == vm.TierDRAM && h.dramUsed+ps <= h.m.Cfg.DRAMSize:
-		h.dramUsed += ps
-		p.SetTier(vm.TierDRAM)
-		h.dramCold.PushBack(pi)
-	case !h.cfg.EnableSwap || h.nvmUsed+ps <= h.m.Cfg.NVMSize:
-		h.nvmUsed += ps
-		p.SetTier(vm.TierNVM)
-		h.nvmCold.PushBack(pi)
-	default:
-		p.SetTier(vm.TierDisk)
-		h.diskCold.PushBack(pi)
+	// A placement hint outside the chain (or on the swap tier) starts
+	// the walk at the slowest migratable tier, matching the historical
+	// "anything not DRAM goes to NVM" behavior.
+	start := last
+	if r := h.rankOf(want); r >= 0 {
+		start = r
 	}
+	for i := start; i < last; i++ {
+		if h.used[h.chain[i]]+ps <= h.caps[i] {
+			h.addUsed(h.chain[i], ps)
+			p.SetTier(h.chain[i])
+			h.cold[i].PushBack(pi)
+			return
+		}
+	}
+	slowest := h.chain[last]
+	if !h.cfg.EnableSwap || h.swapTier == vm.TierNone || h.used[slowest]+ps <= h.caps[last] {
+		h.addUsed(slowest, ps)
+		p.SetTier(slowest)
+		h.cold[last].PushBack(pi)
+		return
+	}
+	h.addUsed(h.swapTier, ps)
+	p.SetTier(h.swapTier)
+	h.swapCold.PushBack(pi)
 }
 
 // OnQuantum implements machine.Manager: the PEBS thread drains the sample
@@ -578,27 +699,29 @@ func (h *HeMem) isHot(pi *PageInfo) bool {
 
 // inHotList reports whether pi currently sits on a hot list.
 func (h *HeMem) inHotList(pi *PageInfo) bool {
-	return pi.list == &h.dramHot || pi.list == &h.nvmHot
+	return pi.list != nil && pi.list.hot
 }
 
+// hotList returns the hot queue for pages resident on tier t. Hot
+// swap-tier pages queue on the slowest migratable tier's hot list: the
+// swap-in policy moves them up before the promotion scan considers them
+// for the faster tiers.
 func (h *HeMem) hotList(t vm.Tier) *List {
-	if t == vm.TierDRAM {
-		return &h.dramHot
+	if r := h.rankOf(t); r >= 0 {
+		return &h.hot[r]
 	}
-	// Hot disk pages queue on the NVM hot list: the swap-in policy moves
-	// them up before the promotion scan considers them for DRAM.
-	return &h.nvmHot
+	return &h.hot[len(h.hot)-1]
 }
 
+// coldList returns the cold queue for pages resident on tier t.
 func (h *HeMem) coldList(t vm.Tier) *List {
-	switch t {
-	case vm.TierDRAM:
-		return &h.dramCold
-	case vm.TierDisk:
-		return &h.diskCold
-	default:
-		return &h.nvmCold
+	if r := h.rankOf(t); r >= 0 {
+		return &h.cold[r]
 	}
+	if t == h.swapTier && h.swapTier != vm.TierNone {
+		return &h.swapCold
+	}
+	return &h.cold[len(h.cold)-1]
 }
 
 // classify moves the page onto the right list after a counter update.
@@ -621,10 +744,13 @@ func (h *HeMem) classify(pi *PageInfo) {
 	}
 }
 
-// policy is the 10 ms migration tick (§3.3): keep the DRAM free watermark,
-// then promote hot NVM pages — write-heavy first — swapping against cold
-// DRAM pages when DRAM is full. If there are neither free nor cold DRAM
-// pages, the hot set exceeds DRAM and migration stops.
+// policy is the migration tick (§3.3), generalized down the tier chain:
+// keep each tier's free watermark by demoting its coldest pages to the
+// next slower tier, run the optional swap layer between the slowest
+// migratable tier and the swap device, then promote hot pages up every
+// link — write-heavy first — exchanging against cold pages when the
+// faster tier is full. If a tier has neither free space nor cold pages,
+// its hot set exceeds capacity and migration across that link stops.
 func (h *HeMem) policy() {
 	if h.cfg.AdaptiveSampling {
 		h.adaptSampling()
@@ -638,53 +764,61 @@ func (h *HeMem) policy() {
 	if backlog := int64(h.m.Migrator.QueuedBytes()); backlog >= budget {
 		return
 	}
+	last := len(h.chain) - 1
 
-	// Watermark: force eviction when free DRAM dips below the target so
-	// new allocations keep landing in fast memory.
-	for h.dramFree() < h.cfg.FreeDRAMTarget && budget > 0 {
-		victim := h.dramCold.PopFront()
-		if victim == nil {
-			// No cold data: evict from the back of the hot list
-			// ("HeMem migrates random data to NVM", §3.3).
-			victim = h.dramHot.Back()
+	// Watermark: force eviction when a tier's free space dips below its
+	// target so new allocations keep landing in fast memory. Fastest
+	// first; the slowest migratable tier has no slower neighbor to evict
+	// to (the swap layer below handles its headroom).
+	for i := 0; i < last; i++ {
+		for h.free(i) < h.freeTarget[i] && budget > 0 {
+			victim := h.cold[i].PopFront()
 			if victim == nil {
-				break
+				// No cold data: evict from the back of the hot list
+				// ("HeMem migrates random data to NVM", §3.3).
+				victim = h.hot[i].Back()
+				if victim == nil {
+					break
+				}
+				h.hot[i].Remove(victim)
 			}
-			h.dramHot.Remove(victim)
+			h.demote(victim, h.chain[i+1])
+			budget -= ps
 		}
-		h.demote(victim)
-		budget -= ps
 	}
 
-	if h.cfg.EnableSwap {
-		// Swap work gets at most half the tick budget so DRAM
-		// promotion is never starved by disk churn.
+	if h.cfg.EnableSwap && h.swapTier != vm.TierNone {
+		// Swap work gets at most half the tick budget so promotion is
+		// never starved by disk churn.
 		half := budget / 2
 		spent := half - h.swapPolicy(half)
 		budget -= spent
 	}
 
-	// Promote hot NVM pages while DRAM slots exist.
-	for budget > 0 {
-		cand := h.nvmHot.Front()
-		if cand == nil {
-			break
+	// Promote hot pages up each link while faster slots exist, fastest
+	// link first.
+	for i := 0; i < last; i++ {
+		for budget > 0 {
+			cand := h.hot[i+1].Front()
+			if cand == nil {
+				break
+			}
+			if h.free(i) >= h.freeTarget[i]+ps {
+				h.hot[i+1].Remove(cand)
+				h.promote(cand, h.chain[i])
+				budget -= ps
+				continue
+			}
+			victim := h.cold[i].PopFront()
+			if victim == nil {
+				// Hot set ≥ tier capacity: stop migrating (§3.3).
+				break
+			}
+			h.hot[i+1].Remove(cand)
+			h.demote(victim, h.chain[i+1])
+			h.promote(cand, h.chain[i])
+			budget -= 2 * ps
 		}
-		if h.dramFree() >= h.cfg.FreeDRAMTarget+ps {
-			h.nvmHot.Remove(cand)
-			h.promote(cand)
-			budget -= ps
-			continue
-		}
-		victim := h.dramCold.PopFront()
-		if victim == nil {
-			// Hot set ≥ DRAM capacity: stop migrating (§3.3).
-			break
-		}
-		h.nvmHot.Remove(cand)
-		h.demote(victim)
-		h.promote(cand)
-		budget -= 2 * ps
 	}
 }
 
@@ -724,44 +858,47 @@ func (h *HeMem) adaptSampling() {
 	h.m.FaultCounters().SamplePeriodRaises++
 }
 
-// dramFree returns uncommitted DRAM bytes.
-func (h *HeMem) dramFree() int64 { return h.m.Cfg.DRAMSize - h.dramUsed }
+// free returns uncommitted bytes at chain position i.
+func (h *HeMem) free(i int) int64 { return h.caps[i] - h.used[h.chain[i]] }
 
-// nvmFree returns uncommitted NVM bytes.
-func (h *HeMem) nvmFree() int64 { return h.m.Cfg.NVMSize - h.nvmUsed }
+// dramFree returns uncommitted bytes on the fastest tier.
+func (h *HeMem) dramFree() int64 { return h.free(0) }
 
-// swapPolicy runs the optional third-tier policy (§3.4): swap in any
-// disk-resident pages that traffic has reached (their accesses fault
-// synchronously, so getting them off disk dominates everything else), and
-// keep an NVM headroom by swapping the coldest NVM pages out.
+// swapPolicy runs the optional swap-tier policy (§3.4) between the
+// slowest migratable tier and the swap device: swap in any swapped-out
+// pages that traffic has reached (their accesses fault synchronously, so
+// getting them off disk dominates everything else), and keep headroom on
+// the slowest migratable tier by swapping its coldest pages out.
 func (h *HeMem) swapPolicy(budget int64) int64 {
 	ps := h.m.Cfg.PageSize
-	// Swap-in: walk sets with live traffic and disk-resident pages.
+	last := len(h.chain) - 1
+	slowest := h.chain[last]
+	// Swap-in: walk sets with live traffic and swapped-out pages.
 	for si, set := range h.m.RateSets() {
 		r := h.m.Rates(set)
-		if r.ReadRate+r.WriteRate == 0 || set.Count(vm.TierDisk) == 0 {
+		if r.ReadRate+r.WriteRate == 0 || set.Count(h.swapTier) == 0 {
 			continue
 		}
-		for budget > 0 && set.Count(vm.TierDisk) > 0 {
-			if h.nvmFree() < h.cfg.FreeNVMTarget+ps {
-				// Exchange: push a cold NVM page out to make room.
-				victim := h.nvmCold.PopFront()
-				if victim == nil || !h.m.Migrator.Enqueue(victim.Page, vm.TierDisk) {
+		for budget > 0 && set.Count(h.swapTier) > 0 {
+			if h.free(last) < h.freeTarget[last]+ps {
+				// Exchange: push a cold page out to make room.
+				victim := h.cold[last].PopFront()
+				if victim == nil || !h.m.Migrator.Enqueue(victim.Page, h.swapTier) {
 					if victim != nil {
-						h.nvmCold.PushBack(victim)
+						h.cold[last].PushBack(victim)
 					}
 					break
 				}
-				h.nvmUsed -= ps
+				h.moveUsed(victim.Page.Tier, h.swapTier, ps)
 				h.stats.SwapOuts++
 				budget -= ps
 			}
-			p := h.pickDisk(si, set)
+			p := h.pickSwapped(si, set)
 			if p == nil {
 				break
 			}
-			if h.m.Migrator.Enqueue(p, vm.TierNVM) {
-				h.nvmUsed += ps
+			if h.m.Migrator.Enqueue(p, slowest) {
+				h.moveUsed(p.Tier, slowest, ps)
 				h.stats.SwapIns++
 				budget -= ps
 			} else {
@@ -769,28 +906,29 @@ func (h *HeMem) swapPolicy(budget int64) int64 {
 			}
 		}
 	}
-	// Swap-out: keep NVM headroom by evicting the coldest NVM pages.
-	for h.nvmFree() < h.cfg.FreeNVMTarget && budget > 0 {
-		victim := h.nvmCold.PopFront()
+	// Swap-out: keep headroom by evicting the coldest pages of the
+	// slowest migratable tier.
+	for h.free(last) < h.freeTarget[last] && budget > 0 {
+		victim := h.cold[last].PopFront()
 		if victim == nil {
 			break
 		}
-		if h.m.Migrator.Enqueue(victim.Page, vm.TierDisk) {
-			h.nvmUsed -= ps
+		if h.m.Migrator.Enqueue(victim.Page, h.swapTier) {
+			h.moveUsed(victim.Page.Tier, h.swapTier, ps)
 			h.stats.SwapOuts++
 			budget -= ps
 		} else {
-			h.nvmCold.PushBack(victim)
+			h.cold[last].PushBack(victim)
 			break
 		}
 	}
 	return budget
 }
 
-// pickDisk returns a non-migrating disk-resident page of set. si is the
-// set's index in the machine's rate-set order, which keys the per-set
-// round-robin cursor.
-func (h *HeMem) pickDisk(si int, set *vm.PageSet) *vm.Page {
+// pickSwapped returns a non-migrating swap-tier-resident page of set. si
+// is the set's index in the machine's rate-set order, which keys the
+// per-set round-robin cursor.
+func (h *HeMem) pickSwapped(si int, set *vm.PageSet) *vm.Page {
 	n := set.Len()
 	for si >= len(h.diskCursor) {
 		h.diskCursor = append(h.diskCursor, 0)
@@ -798,7 +936,7 @@ func (h *HeMem) pickDisk(si int, set *vm.PageSet) *vm.Page {
 	cur := h.diskCursor[si]
 	for i := 0; i < n; i++ {
 		p := set.Page((cur + i) % n)
-		if p.Tier == vm.TierDisk && !p.Migrating {
+		if p.Tier == h.swapTier && !p.Migrating {
 			h.diskCursor[si] = (cur + i + 1) % n
 			return p
 		}
@@ -806,22 +944,21 @@ func (h *HeMem) pickDisk(si int, set *vm.PageSet) *vm.Page {
 	return nil
 }
 
-// promote enqueues an NVM→DRAM move and commits the DRAM space.
-func (h *HeMem) promote(pi *PageInfo) {
-	if h.m.Migrator.Enqueue(pi.Page, vm.TierDRAM) {
-		h.dramUsed += h.m.Cfg.PageSize
-		h.nvmUsed -= h.m.Cfg.PageSize
+// promote enqueues a move to the faster tier dst and commits its space.
+func (h *HeMem) promote(pi *PageInfo, dst vm.Tier) {
+	if h.m.Migrator.Enqueue(pi.Page, dst) {
+		h.moveUsed(pi.Page.Tier, dst, h.m.Cfg.PageSize)
 		h.stats.Promotions++
 	} else {
 		h.hotList(pi.Page.Tier).PushBack(pi)
 	}
 }
 
-// demote enqueues a DRAM→NVM move and releases the DRAM space.
-func (h *HeMem) demote(pi *PageInfo) {
-	if h.m.Migrator.Enqueue(pi.Page, vm.TierNVM) {
-		h.dramUsed -= h.m.Cfg.PageSize
-		h.nvmUsed += h.m.Cfg.PageSize
+// demote enqueues a move to the slower tier dst and releases the faster
+// tier's space.
+func (h *HeMem) demote(pi *PageInfo, dst vm.Tier) {
+	if h.m.Migrator.Enqueue(pi.Page, dst) {
+		h.moveUsed(pi.Page.Tier, dst, h.m.Cfg.PageSize)
 		h.stats.Demotions++
 	} else {
 		h.coldList(pi.Page.Tier).PushBack(pi)
@@ -851,23 +988,7 @@ func (h *HeMem) OnMigrated(p *vm.Page) {
 // source tier, so the space committed at enqueue time is returned and the
 // page goes back on the list matching its current state.
 func (h *HeMem) OnMigrationFailed(p *vm.Page, dst vm.Tier) {
-	ps := h.m.Cfg.PageSize
-	switch {
-	case dst == vm.TierDRAM && p.Tier == vm.TierNVM:
-		// Failed promotion.
-		h.dramUsed -= ps
-		h.nvmUsed += ps
-	case dst == vm.TierNVM && p.Tier == vm.TierDRAM:
-		// Failed demotion.
-		h.dramUsed += ps
-		h.nvmUsed -= ps
-	case dst == vm.TierNVM && p.Tier == vm.TierDisk:
-		// Failed swap-in.
-		h.nvmUsed -= ps
-	case dst == vm.TierDisk && p.Tier == vm.TierNVM:
-		// Failed swap-out.
-		h.nvmUsed += ps
-	}
+	h.moveUsed(dst, p.Tier, h.m.Cfg.PageSize)
 	pi := h.info(p.ID)
 	if pi == nil {
 		return
@@ -879,22 +1000,27 @@ func (h *HeMem) OnMigrationFailed(p *vm.Page, dst vm.Tier) {
 	}
 }
 
-// OnNVMUncorrectable implements machine.FaultHandler: a page whose NVM
-// frame took an uncorrectable error is evacuated immediately via an urgent
-// promotion that jumps the migration queue and cannot be aborted. If DRAM
-// cannot be committed the page stays on its freshly remapped NVM frame.
+// OnNVMUncorrectable implements machine.FaultHandler: a page whose frame
+// took an uncorrectable media error is evacuated immediately to the next
+// faster tier in the chain via an urgent promotion that jumps the
+// migration queue and cannot be aborted. If the faster tier cannot be
+// committed the page stays on its freshly remapped frame. Pages already
+// on the fastest tier (or outside the chain) have nowhere faster to go.
 func (h *HeMem) OnNVMUncorrectable(p *vm.Page) {
 	pi := h.info(p.ID)
-	if pi == nil || p.Tier != vm.TierNVM || p.Migrating {
+	if pi == nil || p.Migrating {
 		return
 	}
+	r := h.rankOf(p.Tier)
+	if r <= 0 {
+		return
+	}
+	dst := h.chain[r-1]
 	if pi.list != nil {
 		pi.list.Remove(pi)
 	}
-	if h.m.Migrator.EnqueueUrgent(p, vm.TierDRAM) {
-		ps := h.m.Cfg.PageSize
-		h.dramUsed += ps
-		h.nvmUsed -= ps
+	if h.m.Migrator.EnqueueUrgent(p, dst) {
+		h.moveUsed(p.Tier, dst, h.m.Cfg.PageSize)
 		h.stats.Promotions++
 		h.stats.EmergencyPromotions++
 		h.m.FaultCounters().EmergencyPromotions++
@@ -918,9 +1044,17 @@ func (h *HeMem) ColdBytes(t vm.Tier) int64 {
 }
 
 // DRAMUsed returns committed DRAM bytes.
-func (h *HeMem) DRAMUsed() int64 { return h.dramUsed }
+func (h *HeMem) DRAMUsed() int64 { return h.Used(vm.TierDRAM) }
 
 func (h *HeMem) String() string {
-	return fmt.Sprintf("hemem{dram hot=%d cold=%d, nvm hot=%d cold=%d, clock=%d}",
-		h.dramHot.Len(), h.dramCold.Len(), h.nvmHot.Len(), h.nvmCold.Len(), h.clock)
+	var b strings.Builder
+	b.WriteString("hemem{")
+	for i, t := range h.chain {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s hot=%d cold=%d", strings.ToLower(t.String()), h.hot[i].Len(), h.cold[i].Len())
+	}
+	fmt.Fprintf(&b, ", clock=%d}", h.clock)
+	return b.String()
 }

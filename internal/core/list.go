@@ -38,6 +38,9 @@ type List struct {
 	Name       string
 	head, tail *PageInfo
 	n          int
+	// hot marks the per-tier hot queues so membership tests
+	// (HeMem.inHotList) stay O(1) with any number of tiers.
+	hot bool
 }
 
 // Len returns the number of queued pages.

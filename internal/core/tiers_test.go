@@ -1,0 +1,114 @@
+package core_test
+
+import (
+	"testing"
+
+	"github.com/tieredmem/hemem/internal/core"
+	"github.com/tieredmem/hemem/internal/fault"
+	"github.com/tieredmem/hemem/internal/machine"
+	"github.com/tieredmem/hemem/internal/sim"
+	"github.com/tieredmem/hemem/internal/vm"
+)
+
+// threeTier builds a DRAM+CXL+NVM machine with small fast tiers so a
+// modest region spans the whole chain. ueTier marks which tier takes
+// uncorrectable media errors.
+func threeTier(ccfg core.Config, ueTier vm.Tier, faults fault.Config) (*machine.Machine, *core.HeMem) {
+	ccfg.LargeAllocThreshold = 64 * sim.MB
+	h := core.New(ccfg)
+	mcfg := machine.DefaultConfig()
+	mcfg.Faults = faults
+	mcfg.Tiers = []machine.TierDesc{
+		{ID: vm.TierDRAM, Capacity: 64 * sim.MB},
+		{ID: vm.TierCXL, Capacity: 128 * sim.MB, UEVictim: ueTier == vm.TierCXL},
+		{ID: vm.TierNVM, Capacity: 1 * sim.GB, UEVictim: ueTier == vm.TierNVM},
+	}
+	return machine.New(mcfg, h), h
+}
+
+// An uncorrectable error on a middle-chain tier must promote the struck
+// page to its faster neighbor — and a UE on the slowest tier of a 3-tier
+// chain must promote to the middle tier, not jump straight to DRAM. The
+// historical handler hard-coded vm.TierDRAM as the evacuation target.
+func TestUEPromotesToFasterNeighbor(t *testing.T) {
+	cases := []struct {
+		name       string
+		ueTier     vm.Tier
+		wantDst    vm.Tier
+		forbidDst  vm.Tier
+		forbidNote string
+	}{
+		{"middle-tier UE to DRAM", vm.TierCXL, vm.TierDRAM, vm.TierNVM, "demoted instead of promoted"},
+		{"slow-tier UE to CXL", vm.TierNVM, vm.TierCXL, vm.TierDRAM, "jumped the chain to DRAM"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ccfg := core.DefaultConfig()
+			// Freeze the regular policy so every completed migration in
+			// the run is an emergency promotion.
+			ccfg.NoMigration = true
+			m, h := threeTier(ccfg, tc.ueTier, fault.Config{NVMUncorrectableMTBF: sim.Millisecond})
+			m.AS.Map("data", 512*sim.MB) // spans DRAM, CXL, and NVM
+			m.Warm()
+			m.Run(20 * sim.Millisecond)
+
+			fs := *m.FaultCounters()
+			if fs.UncorrectableByTier[tc.ueTier] == 0 {
+				t.Fatalf("no UEs struck %v; per-tier counters %v", tc.ueTier, fs.UncorrectableByTier)
+			}
+			for tier, n := range fs.UncorrectableByTier {
+				if vm.Tier(tier) != tc.ueTier && n != 0 {
+					t.Fatalf("UE struck non-victim tier %v (%d)", vm.Tier(tier), n)
+				}
+			}
+			if h.Stats().EmergencyPromotions == 0 {
+				t.Fatal("no emergency promotions despite UEs on a promotable tier")
+			}
+			if got := m.Migrator.Moved(tc.ueTier, tc.wantDst); got == 0 {
+				t.Fatalf("no %v→%v emergency moves completed", tc.ueTier, tc.wantDst)
+			}
+			if got := m.Migrator.Moved(tc.ueTier, tc.forbidDst); got != 0 {
+				t.Fatalf("%d struck pages %s (%v→%v)", got, tc.forbidNote, tc.ueTier, tc.forbidDst)
+			}
+		})
+	}
+}
+
+// Unmap must return the committed bytes of every tier — including the
+// middle CXL tier and the swap-backed disk tier — to their free pools,
+// and leave no pages on any FIFO list.
+func TestUnmapReleasesEveryTier(t *testing.T) {
+	ccfg := core.DefaultConfig()
+	ccfg.EnableSwap = true
+	ccfg.LargeAllocThreshold = 64 * sim.MB
+	h := core.New(ccfg)
+	mcfg := machine.DefaultConfig()
+	mcfg.Tiers = []machine.TierDesc{
+		{ID: vm.TierDRAM, Capacity: 64 * sim.MB},
+		{ID: vm.TierCXL, Capacity: 64 * sim.MB},
+		{ID: vm.TierNVM, Capacity: 64 * sim.MB, UEVictim: true},
+		{ID: vm.TierDisk, Capacity: 4 * sim.GB, Swap: true},
+	}
+	m := machine.New(mcfg, h)
+	r := m.AS.Map("data", 320*sim.MB) // overflows every fast tier onto disk
+	m.Warm()
+
+	for _, td := range m.TierTable() {
+		if r.Bytes(td.ID) == 0 {
+			t.Fatalf("setup: no pages landed on %v", td.ID)
+		}
+		if got, want := h.Used(td.ID), r.Bytes(td.ID); got != want {
+			t.Fatalf("pre-unmap %v accounting: used=%d resident=%d", td.ID, got, want)
+		}
+	}
+
+	m.Unmap(r)
+	for _, td := range m.TierTable() {
+		if got := h.Used(td.ID); got != 0 {
+			t.Fatalf("unmap leaked %d bytes on %v", got, td.ID)
+		}
+		if h.HotBytes(td.ID)+h.ColdBytes(td.ID) != 0 {
+			t.Fatalf("unmap left pages on %v FIFO lists", td.ID)
+		}
+	}
+}

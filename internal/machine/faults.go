@@ -6,11 +6,13 @@ import (
 
 // FaultHandler is implemented by managers that react to hardware faults
 // the machine injects. OnNVMUncorrectable reports that an uncorrectable
-// media error struck p while NVM-resident: the machine has already retired
-// the failing frame and remapped the page (vm.AddressSpace.RetireFrame);
-// the manager should respond, e.g. by queueing an emergency promotion to
-// DRAM. Managers that do not implement the interface still get the
-// retire-and-remap; they simply take no placement action.
+// media error struck p while resident on a UE-prone tier (NVM on the
+// classic testbed; any tier marked UEVictim in the table): the machine
+// has already retired the failing frame and remapped the page
+// (vm.AddressSpace.RetireFrame); the manager should respond, e.g. by
+// queueing an emergency promotion to the next faster tier. Managers that
+// do not implement the interface still get the retire-and-remap; they
+// simply take no placement action.
 type FaultHandler interface {
 	OnNVMUncorrectable(p *vm.Page)
 }
@@ -58,37 +60,61 @@ func (m *Machine) applyFaults(now, dt int64) {
 		db.Engine.SetDerate(inj.DMADerate())
 	}
 	for i := 0; i < ev.NVMUncorrectable; i++ {
-		m.injectNVMUE()
+		m.injectUE()
 	}
 }
 
-// injectNVMUE strikes a uniformly random NVM-resident page with an
-// uncorrectable media error: the frame is retired and the page remapped
-// (keeping its tier and contents — the error was caught on scrub, not on
-// a demand read), and a FaultHandler manager is asked to react.
-func (m *Machine) injectNVMUE() {
+// ueTier reports whether tier t is marked UEVictim in the tier table.
+func (m *Machine) ueTier(t vm.TierID) bool {
+	for _, td := range m.Cfg.Tiers {
+		if td.ID == t {
+			return td.UEVictim
+		}
+	}
+	return false
+}
+
+// injectUE strikes a uniformly random page resident on a UE-prone tier
+// with an uncorrectable media error: the frame is retired and the page
+// remapped (keeping its tier and contents — the error was caught on
+// scrub, not on a demand read), and a FaultHandler manager is asked to
+// react. Victim selection is uniform over the combined population of
+// every UEVictim tier, iterated in region order then table order, so a
+// single-victim-tier machine draws exactly the sequence the NVM-only
+// implementation did.
+func (m *Machine) injectUE() {
 	total := 0
 	for _, r := range m.AS.Regions {
-		total += r.Count(vm.TierNVM)
+		for _, td := range m.Cfg.Tiers {
+			if td.UEVictim {
+				total += r.Count(td.ID)
+			}
+		}
 	}
 	if total == 0 {
 		return
 	}
 	k := m.Injector.PickIndex(total)
 	var victim *vm.Page
+scan:
 	for _, r := range m.AS.Regions {
-		n := r.Count(vm.TierNVM)
+		n := 0
+		for _, td := range m.Cfg.Tiers {
+			if td.UEVictim {
+				n += r.Count(td.ID)
+			}
+		}
 		if k >= n {
 			k -= n
 			continue
 		}
 		for _, p := range r.Pages {
-			if p.Tier != vm.TierNVM {
+			if !m.ueTier(p.Tier) {
 				continue
 			}
 			if k == 0 {
 				victim = p
-				break
+				break scan
 			}
 			k--
 		}
@@ -99,6 +125,9 @@ func (m *Machine) injectNVMUE() {
 	}
 	m.AS.RetireFrame(victim)
 	m.faultStats.NVMUncorrectable++
+	if int(victim.Tier) >= 0 && int(victim.Tier) < vm.MaxTiers {
+		m.faultStats.UncorrectableByTier[victim.Tier]++
+	}
 	m.faultStats.PagesRetired++
 	if h, ok := m.Mgr.(FaultHandler); ok {
 		h.OnNVMUncorrectable(victim)

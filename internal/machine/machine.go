@@ -21,27 +21,58 @@ import (
 	"github.com/tieredmem/hemem/internal/vm"
 )
 
-// Dev indexes the memory devices.
+// Dev indexes the memory devices in tier-table order (fastest first).
+// The named constants are the indices of the classic DRAM/NVM/disk
+// testbed; machines built from an explicit Config.Tiers table may lay
+// devices out differently — resolve indices through Machine.DevOf.
 type Dev int
 
 const (
 	DevDRAM Dev = iota
 	DevNVM
 	DevDisk
-	devCount
 )
 
-// TierDev maps a vm.Tier to a device index; pages not yet placed
-// (TierNone) are charged as NVM, the conservative choice.
-func TierDev(t vm.Tier) Dev {
-	switch t {
-	case vm.TierDRAM:
-		return DevDRAM
-	case vm.TierDisk:
-		return DevDisk
-	default:
-		return DevNVM
+// MaxDevs bounds the per-device arrays threaded through the contention
+// solver (CompCost, utilization, wear snapshots). It is deliberately a
+// fixed array size rather than a slice so the per-quantum solver state
+// stays allocation-free and the structs embedding it stay comparable.
+const MaxDevs = 6
+
+// TierDesc is one row of the machine's tier descriptor table: a memory
+// tier with its identity, capacity, and device model. The table is
+// ordered fastest first and doubles as the migration graph — each tier's
+// promotion neighbour is the previous row, its demotion neighbour the
+// next row.
+type TierDesc struct {
+	// ID is the tier's identity in vm's tier table.
+	ID vm.TierID
+	// Capacity in bytes. Zero falls back to the legacy size field for the
+	// built-in tiers (DRAMSize/NVMSize/DiskSize).
+	Capacity int64
+	// Spec optionally overrides the device model registered for ID in
+	// the mem registry.
+	Spec *mem.Spec
+	// Swap marks a swap-only backing tier (§3.4): placement never puts
+	// fresh pages here and the policy only moves pages in explicitly.
+	// Defaults to true for TierDisk when no tier in the table is marked.
+	Swap bool
+	// UEVictim marks media subject to uncorrectable-error injection.
+	// Defaults to true for TierNVM when no tier in the table is marked.
+	UEVictim bool
+}
+
+// TierDev maps a vm.Tier to this machine's device index; pages not yet
+// placed (TierNone) and tiers absent from the table are charged as the
+// second-fastest tier, the conservative choice (NVM on the classic
+// testbed).
+func (m *Machine) TierDev(t vm.Tier) Dev {
+	if int(t) > 0 && int(t) < len(m.tierDev) {
+		if d := m.tierDev[t]; d >= 0 {
+			return Dev(d)
+		}
 	}
+	return m.noneDev
 }
 
 // Component describes one access stream of a workload: a page set, how
@@ -103,13 +134,14 @@ type CompCost struct {
 	// contention.
 	Time float64
 	// Bytes is the media bytes moved per occurrence, per [device][kind];
-	// it drives wear accounting and device demand.
-	Bytes [devCount][2]float64
+	// it drives wear accounting and device demand. Only the first
+	// NumDevs entries are meaningful on a given machine.
+	Bytes [MaxDevs][2]float64
 	// Util is the device-seconds consumed per occurrence per
 	// [device][kind], i.e. Bytes normalized by the pattern-appropriate
 	// bandwidth ceiling. The solver sums Util×rate into device
 	// utilization and throttles workloads through saturated devices.
-	Util [devCount][2]float64
+	Util [MaxDevs][2]float64
 }
 
 // Manager is a tiered-memory management system under test.
@@ -217,6 +249,12 @@ type Config struct {
 	// Faults configures deterministic fault injection. The zero value
 	// disables it entirely; see internal/fault.
 	Faults fault.Config
+	// Tiers optionally declares the memory hierarchy explicitly, fastest
+	// first (e.g. DRAM, CXL, NVM, disk). Nil means the classic
+	// DRAM/NVM/disk testbed built from the size fields above. When set,
+	// the legacy size fields are synchronized from the table so code
+	// reading Cfg.DRAMSize etc. stays coherent.
+	Tiers []TierDesc
 }
 
 // Validate reports the first invalid parameter, or nil. Zero values are
@@ -234,6 +272,27 @@ func (c Config) Validate() error {
 	if c.Quantum < 0 {
 		return fmt.Errorf("machine: negative quantum %d", c.Quantum)
 	}
+	seen := map[vm.TierID]bool{}
+	for _, td := range c.Tiers {
+		if td.ID == vm.TierNone {
+			return fmt.Errorf("machine: TierNone cannot appear in the tier table")
+		}
+		if seen[td.ID] {
+			return fmt.Errorf("machine: duplicate tier %v in table", td.ID)
+		}
+		seen[td.ID] = true
+		if td.Capacity < 0 {
+			return fmt.Errorf("machine: tier %v has negative capacity", td.ID)
+		}
+		if td.Spec == nil {
+			if _, ok := mem.ModelFor(td.ID); !ok {
+				return fmt.Errorf("machine: tier %v has no registered device model and no explicit spec", td.ID)
+			}
+		}
+	}
+	if len(c.Tiers) > MaxDevs {
+		return fmt.Errorf("machine: %d tiers exceed MaxDevs (%d)", len(c.Tiers), MaxDevs)
+	}
 	return c.Faults.Validate()
 }
 
@@ -245,7 +304,8 @@ func (c Config) withDefaults() Config {
 	if c.Cores == 0 {
 		def := DefaultConfig()
 		def.Faults = c.Faults
-		return def
+		def.Tiers = c.Tiers
+		return def.resolveTiers()
 	}
 	def := DefaultConfig()
 	if c.DRAMSize == 0 {
@@ -262,6 +322,59 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Quantum == 0 {
 		c.Quantum = def.Quantum
+	}
+	return c.resolveTiers()
+}
+
+// resolveTiers normalizes the tier table: a nil table becomes the
+// classic DRAM/NVM/disk chain, zero capacities of built-in tiers fall
+// back to the legacy size fields, the Swap and UEVictim defaults are
+// applied, and the legacy size fields are synchronized from the table.
+func (c Config) resolveTiers() Config {
+	if c.Tiers == nil {
+		c.Tiers = []TierDesc{
+			{ID: vm.TierDRAM, Capacity: c.DRAMSize},
+			{ID: vm.TierNVM, Capacity: c.NVMSize, UEVictim: true},
+			{ID: vm.TierDisk, Capacity: c.DiskSize, Swap: true},
+		}
+		return c
+	}
+	tiers := make([]TierDesc, len(c.Tiers))
+	copy(tiers, c.Tiers)
+	c.Tiers = tiers
+	anySwap, anyUE := false, false
+	for i := range tiers {
+		td := &tiers[i]
+		if td.Capacity == 0 {
+			switch td.ID {
+			case vm.TierDRAM:
+				td.Capacity = c.DRAMSize
+			case vm.TierNVM:
+				td.Capacity = c.NVMSize
+			case vm.TierDisk:
+				td.Capacity = c.DiskSize
+			}
+		}
+		anySwap = anySwap || td.Swap
+		anyUE = anyUE || td.UEVictim
+	}
+	for i := range tiers {
+		td := &tiers[i]
+		if !anySwap && td.ID == vm.TierDisk {
+			td.Swap = true
+		}
+		if !anyUE && td.ID == vm.TierNVM {
+			td.UEVictim = true
+		}
+		// Keep the legacy size fields coherent with the table.
+		switch td.ID {
+		case vm.TierDRAM:
+			c.DRAMSize = td.Capacity
+		case vm.TierNVM:
+			c.NVMSize = td.Capacity
+		case vm.TierDisk:
+			c.DiskSize = td.Capacity
+		}
 	}
 	return c
 }
@@ -301,10 +414,23 @@ type Machine struct {
 	Events *sim.EventQueue
 	Rng    *sim.Rand
 
+	// DRAM, NVM, and Disk are the classic testbed's devices, kept as
+	// named fields for two-tier code; they are nil when the tier table
+	// omits the corresponding tier. devs holds every device in table
+	// order.
 	DRAM *mem.Device
 	NVM  *mem.Device
 	Disk *mem.Device
 	AS   *vm.AddressSpace
+
+	devs []*mem.Device
+	// tierDev maps a TierID to its device index; -1 when absent.
+	tierDev [vm.MaxTiers]int8
+	// noneDev is the device unplaced pages are charged to (index 1 of
+	// the chain — the conservative choice).
+	noneDev Dev
+	// fastest is the chain's top tier (DRAM on the classic testbed).
+	fastest vm.TierID
 
 	Mgr       Manager
 	Workloads []Workload
@@ -352,9 +478,6 @@ func New(cfg Config, mgr Manager) *Machine {
 		Clock:      sim.NewClock(),
 		Events:     sim.NewEventQueue(),
 		Rng:        sim.NewRand(cfg.Seed),
-		DRAM:       mem.NewDRAM(cfg.DRAMSize),
-		NVM:        mem.NewNVM(cfg.NVMSize),
-		Disk:       mem.NewDisk(cfg.DiskSize),
 		AS:         vm.NewAddressSpace(cfg.PageSize),
 		Mgr:        mgr,
 		rates:      make(map[*vm.PageSet]*SetRates),
@@ -362,22 +485,112 @@ func New(cfg Config, mgr Manager) *Machine {
 		totalOps:   make(map[string]float64),
 		sampleEach: 100 * sim.Millisecond,
 	}
+	m.devs = make([]*mem.Device, len(cfg.Tiers))
+	for i := range m.tierDev {
+		m.tierDev[i] = -1
+	}
+	for i, td := range cfg.Tiers {
+		var dev *mem.Device
+		if td.Spec != nil {
+			spec := *td.Spec
+			if td.Capacity != 0 {
+				spec.Capacity = td.Capacity
+			}
+			dev = mem.New(spec)
+		} else {
+			var err error
+			dev, err = mem.NewFor(td.ID, td.Capacity)
+			if err != nil {
+				panic(err)
+			}
+		}
+		m.devs[i] = dev
+		if int(td.ID) < len(m.tierDev) {
+			m.tierDev[td.ID] = int8(i)
+		}
+		switch td.ID {
+		case vm.TierDRAM:
+			m.DRAM = dev
+		case vm.TierNVM:
+			m.NVM = dev
+		case vm.TierDisk:
+			m.Disk = dev
+		}
+	}
+	m.noneDev = Dev(1)
+	if len(m.devs) < 2 {
+		m.noneDev = 0
+	}
+	m.fastest = cfg.Tiers[0].ID
 	m.Injector = fault.New(cfg.Faults, sim.NewRand(cfg.Seed^injectorSeedSalt))
 	m.Migrator = NewMigrator(m)
 	mgr.Attach(m)
 	return m
 }
 
-// Device returns the device instance for d.
+// Device returns the device instance for index d; out-of-range indices
+// resolve to the conservative charge device (NVM on the classic testbed).
 func (m *Machine) Device(d Dev) *mem.Device {
-	switch d {
-	case DevDRAM:
-		return m.DRAM
-	case DevDisk:
-		return m.Disk
-	default:
-		return m.NVM
+	if d >= 0 && int(d) < len(m.devs) {
+		return m.devs[d]
 	}
+	return m.devs[m.noneDev]
+}
+
+// NumDevs returns the number of devices in the tier table.
+func (m *Machine) NumDevs() int { return len(m.devs) }
+
+// TierTable returns the machine's resolved tier descriptor table,
+// fastest first. Callers must not mutate it.
+func (m *Machine) TierTable() []TierDesc { return m.Cfg.Tiers }
+
+// TierAt returns the tier ID at device index d.
+func (m *Machine) TierAt(d Dev) vm.TierID { return m.Cfg.Tiers[d].ID }
+
+// DevOf returns the device index of tier t, or false if the tier is not
+// in the table.
+func (m *Machine) DevOf(t vm.TierID) (Dev, bool) {
+	if int(t) > 0 && int(t) < len(m.tierDev) {
+		if d := m.tierDev[t]; d >= 0 {
+			return Dev(d), true
+		}
+	}
+	return 0, false
+}
+
+// DeviceFor returns the device backing tier t (the conservative charge
+// device for TierNone and absent tiers).
+func (m *Machine) DeviceFor(t vm.TierID) *mem.Device { return m.devs[m.TierDev(t)] }
+
+// CapacityOf returns the capacity of tier t, or 0 if absent.
+func (m *Machine) CapacityOf(t vm.TierID) int64 {
+	if d, ok := m.DevOf(t); ok {
+		return m.Cfg.Tiers[d].Capacity
+	}
+	return 0
+}
+
+// FastestTier returns the top of the migration chain.
+func (m *Machine) FastestTier() vm.TierID { return m.fastest }
+
+// FasterTier returns the promotion neighbour of tier t — the next
+// faster tier in the chain — or false at the top (or if t is absent).
+func (m *Machine) FasterTier(t vm.TierID) (vm.TierID, bool) {
+	d, ok := m.DevOf(t)
+	if !ok || d == 0 {
+		return vm.TierNone, false
+	}
+	return m.Cfg.Tiers[d-1].ID, true
+}
+
+// SlowerTier returns the demotion neighbour of tier t — the next slower
+// tier in the chain — or false at the bottom (or if t is absent).
+func (m *Machine) SlowerTier(t vm.TierID) (vm.TierID, bool) {
+	d, ok := m.DevOf(t)
+	if !ok || int(d) >= len(m.Cfg.Tiers)-1 {
+		return vm.TierNone, false
+	}
+	return m.Cfg.Tiers[d+1].ID, true
 }
 
 // AddWorkload registers a workload to run.
@@ -520,7 +733,8 @@ func (m *Machine) Step(dt int64) {
 	}
 
 	// Cost each component and compute unconstrained rates.
-	var util [devCount][2]float64
+	nd := Dev(len(m.devs))
+	var util [MaxDevs][2]float64
 	// Seed utilization with migration traffic (sequential streams).
 	for _, mv := range migMoved {
 		if mv.bytes == 0 {
@@ -573,7 +787,7 @@ func (m *Machine) Step(dt int64) {
 			}
 		}
 		for j := range s.comps {
-			for d := Dev(0); d < devCount; d++ {
+			for d := Dev(0); d < nd; d++ {
 				for k := 0; k < 2; k++ {
 					util[d][k] += s.rate * s.comps[j].Share * s.costs[j].Util[d][k]
 				}
@@ -585,7 +799,7 @@ func (m *Machine) Step(dt int64) {
 	for i := range ws {
 		s := &ws[i]
 		factor := 1.0
-		for d := Dev(0); d < devCount; d++ {
+		for d := Dev(0); d < nd; d++ {
 			for k := 0; k < 2; k++ {
 				if util[d][k] > 1 {
 					// Does this workload use (d,k)?
@@ -628,7 +842,7 @@ func (m *Machine) Step(dt int64) {
 				obsRates = append(obsRates, s.rate*c.Share)
 			}
 			// Wear: charge media bytes to devices.
-			for d := Dev(0); d < devCount; d++ {
+			for d := Dev(0); d < nd; d++ {
 				if b := s.costs[j].Bytes[d][mem.Read] * occ; b > 0 {
 					m.Device(d).RecordBytes(mem.Read, b)
 				}
@@ -696,8 +910,10 @@ func (m *Machine) feedSamples(s *pebs.Sampler, c Component, occ float64) {
 		}
 		for k := s.Take(n, pebs.ClassLoad); k > 0; k-- {
 			p := c.Set.Page(m.Rng.Intn(setLen))
+			// PEBS distinguishes loads served by the top of the chain
+			// from everything below it (local DRAM vs far memory).
 			kind := pebs.LoadDRAM
-			if p.Tier != vm.TierDRAM {
+			if p.Tier != m.fastest {
 				kind = pebs.LoadNVM
 			}
 			buf.Push(pebs.Record{Page: p.ID, Kind: kind})
@@ -757,13 +973,14 @@ func (m *Machine) PlacementCost(c Component) CompCost {
 		cc.Time = 1
 		return cc
 	}
-	fracs := [devCount]float64{
-		DevDRAM: c.Set.Frac(vm.TierDRAM),
-		DevNVM:  c.Set.Frac(vm.TierNVM) + c.Set.Frac(vm.TierNone),
-		DevDisk: c.Set.Frac(vm.TierDisk),
+	nd := Dev(len(m.devs))
+	var fracs [MaxDevs]float64
+	for d := Dev(0); d < nd; d++ {
+		fracs[d] = c.Set.Frac(m.Cfg.Tiers[d].ID)
 	}
+	fracs[m.noneDev] += c.Set.Frac(vm.TierNone)
 	walk := m.TLBWalkCost(c.Set, c.Pattern)
-	for d := Dev(0); d < devCount; d++ {
+	for d := Dev(0); d < nd; d++ {
 		f := fracs[d]
 		if f == 0 {
 			continue
@@ -813,9 +1030,10 @@ func (m *Machine) AppendBranches(dst []CostBranch, c Component) []CostBranch {
 		return append(dst, CostBranch{Prob: 1, Time: 1})
 	}
 	base := len(dst)
-	for _, t := range []vm.Tier{vm.TierDRAM, vm.TierNVM, vm.TierDisk} {
+	for d := Dev(0); d < Dev(len(m.devs)); d++ {
+		t := m.Cfg.Tiers[d].ID
 		f := c.Set.Frac(t)
-		if t == vm.TierNVM {
+		if d == m.noneDev {
 			f += c.Set.Frac(vm.TierNone)
 		}
 		if f == 0 {
@@ -824,14 +1042,14 @@ func (m *Machine) AppendBranches(dst []CostBranch, c Component) []CostBranch {
 		dst = append(dst, CostBranch{Prob: f, Time: m.CostIn(c, t)})
 	}
 	if len(dst) == base {
-		dst = append(dst, CostBranch{Prob: 1, Time: m.CostIn(c, vm.TierNVM)})
+		dst = append(dst, CostBranch{Prob: 1, Time: m.CostIn(c, m.Cfg.Tiers[m.noneDev].ID)})
 	}
 	return dst
 }
 
 // CostIn prices one occurrence of c assuming its pages reside in tier t.
 func (m *Machine) CostIn(c Component, t vm.Tier) float64 {
-	dev := m.Device(TierDev(t))
+	dev := m.Device(m.TierDev(t))
 	time := m.TLBWalkCost(c.Set, c.Pattern)
 	if c.ReadBytes > 0 {
 		deps := c.deps()
@@ -848,5 +1066,9 @@ func (m *Machine) CostIn(c Component, t vm.Tier) float64 {
 
 // String describes the machine configuration.
 func (m *Machine) String() string {
-	return fmt.Sprintf("machine{%d cores, %s, %s, mgr=%s}", m.Cfg.Cores, m.DRAM, m.NVM, m.Mgr.Name())
+	s := fmt.Sprintf("machine{%d cores", m.Cfg.Cores)
+	for _, d := range m.devs {
+		s += fmt.Sprintf(", %s", d)
+	}
+	return s + fmt.Sprintf(", mgr=%s}", m.Mgr.Name())
 }

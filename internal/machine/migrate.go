@@ -44,12 +44,13 @@ func (b ThreadBackend) Threads() float64 { return float64(b.Copier.Threads) }
 // Dedicated marks the pool as holding cores even while idle.
 func (b ThreadBackend) Dedicated() bool { return true }
 
-// MigStats aggregates migration activity.
+// MigStats aggregates migration activity. Promotions move pages up the
+// chain (toward faster tiers), demotions down it.
 type MigStats struct {
 	Pages      int64
 	Bytes      float64
-	Promotions int64 // NVM → DRAM
-	Demotions  int64 // DRAM → NVM
+	Promotions int64
+	Demotions  int64
 }
 
 // migReq is one in-flight page move. Migration is transactional: the copy
@@ -92,8 +93,11 @@ type Migrator struct {
 	// policy-tick rates would otherwise allocate one per page move.
 	free []*migReq
 
-	lastMoved [devCount]moved // per direction (index: dst device)
+	lastMoved [MaxDevs]moved // per direction (index: dst device)
 	stats     MigStats
+	// edges counts completed page moves per (src, dst) tier pair — the
+	// traversal counts of the migration graph.
+	edges [vm.MaxTiers][vm.MaxTiers]int64
 }
 
 // NewMigrator returns a migrator using the DMA engine backend and the
@@ -220,7 +224,7 @@ func (g *Migrator) Stats() MigStats { return g.stats }
 // by Machine.Step before traffic costing so completed moves are visible
 // immediately.
 func (g *Migrator) advance(now, dt int64) {
-	g.lastMoved = [devCount]moved{}
+	g.lastMoved = [MaxDevs]moved{}
 	if len(g.queue) == 0 {
 		g.busy = false
 		return
@@ -272,7 +276,7 @@ func (g *Migrator) advance(now, dt int64) {
 // charge accounts one chunk of copy traffic on devices and in the
 // per-direction summary used for utilization seeding.
 func (g *Migrator) charge(src, dst vm.Tier, bytes float64) {
-	sd, dd := TierDev(src), TierDev(dst)
+	sd, dd := g.m.TierDev(src), g.m.TierDev(dst)
 	g.m.Device(sd).RecordBytes(mem.Read, bytes)
 	g.m.Device(dd).RecordBytes(mem.Write, bytes)
 	mv := &g.lastMoved[dd]
@@ -317,12 +321,17 @@ func (g *Migrator) abort(req *migReq, now int64) {
 	g.queue = append(g.queue, req)
 }
 
-// complete commits one page move.
+// complete commits one page move. A move to a faster tier (smaller
+// device index) is a promotion, anything else a demotion.
 func (g *Migrator) complete(req *migReq) {
-	if req.dst == vm.TierDRAM {
+	src := req.page.Tier
+	if g.m.TierDev(req.dst) < g.m.TierDev(src) {
 		g.stats.Promotions++
 	} else {
 		g.stats.Demotions++
+	}
+	if int(src) >= 0 && int(src) < vm.MaxTiers && int(req.dst) >= 0 && int(req.dst) < vm.MaxTiers {
+		g.edges[src][req.dst]++
 	}
 	g.stats.Pages++
 	page := req.page
@@ -334,9 +343,18 @@ func (g *Migrator) complete(req *migReq) {
 	}
 }
 
+// Moved returns how many pages have completed a src→dst move — one edge
+// of the migration graph.
+func (g *Migrator) Moved(src, dst vm.TierID) int64 {
+	if int(src) < 0 || int(src) >= vm.MaxTiers || int(dst) < 0 || int(dst) >= vm.MaxTiers {
+		return 0
+	}
+	return g.edges[src][dst]
+}
+
 // planned reports the traffic moved in the most recent advance, for the
 // contention solver.
-func (g *Migrator) planned(dt int64) [devCount]moved { return g.lastMoved }
+func (g *Migrator) planned(dt int64) [MaxDevs]moved { return g.lastMoved }
 
 // activeThreads reports copy-thread core consumption for the CPU model.
 // Dedicated pools (copy threads) hold their cores always; the DMA engine

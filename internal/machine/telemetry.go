@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 
 	"github.com/tieredmem/hemem/internal/mem"
 	"github.com/tieredmem/hemem/internal/sim"
+	"github.com/tieredmem/hemem/internal/vm"
 )
 
 // FaultStats counts injected faults and the recovery actions they
@@ -17,9 +19,14 @@ type FaultStats struct {
 	MigrationAborts     int64 // copy attempts failing verification
 	DMAChannelFailures  int64 // permanent channel losses
 	DMADegradedEpisodes int64 // degraded-bandwidth episode onsets
-	NVMUncorrectable    int64 // uncorrectable media errors struck
+	NVMUncorrectable    int64 // uncorrectable media errors struck (all UE tiers)
 	NVMThermalEpisodes  int64 // thermal-throttle episode onsets
 	PEBSStorms          int64 // sampling-storm episode onsets
+
+	// UncorrectableByTier splits the media UEs by the TierID of the
+	// struck page (NVMUncorrectable is their sum). A fixed array keyed
+	// by TierID so FaultStats stays comparable.
+	UncorrectableByTier [vm.MaxTiers]int64
 
 	// Recovery actions.
 	MigrationRetries      int64 // aborted copies re-queued with backoff
@@ -55,7 +62,7 @@ type Telemetry struct {
 	every int64
 	last  int64
 
-	lastWear [devCount]mem.Wear
+	lastWear [MaxDevs]mem.Wear
 	series   map[string]*sim.Series
 }
 
@@ -66,7 +73,7 @@ func (m *Machine) EnableTelemetry(interval int64) *Telemetry {
 		interval = 100 * sim.Millisecond
 	}
 	t := &Telemetry{every: interval, series: make(map[string]*sim.Series), last: m.Clock.Now()}
-	for d := Dev(0); d < devCount; d++ {
+	for d := Dev(0); d < Dev(m.NumDevs()); d++ {
 		t.lastWear[d] = m.Device(d).Wear()
 	}
 	m.telemetry = t
@@ -93,13 +100,15 @@ func (t *Telemetry) sample(m *Machine, now int64, stallFrac float64) {
 	}
 	dt := float64(now - t.last)
 	t.last = now
-	names := [devCount]string{"dram", "nvm", "disk"}
-	for d := Dev(0); d < devCount; d++ {
+	// Series names come from the tier table (lowercased tier names):
+	// "dram", "nvm", "disk" on the classic testbed.
+	for d := Dev(0); d < Dev(m.NumDevs()); d++ {
+		name := strings.ToLower(m.TierAt(d).String())
 		w := m.Device(d).Wear()
 		prev := t.lastWear[d]
 		t.lastWear[d] = w
-		t.get(names[d]+".read.gbps").Append(now, sim.BytesPerNsToGBps((w.ReadBytes-prev.ReadBytes)/dt))
-		t.get(names[d]+".write.gbps").Append(now, sim.BytesPerNsToGBps((w.WriteBytes-prev.WriteBytes)/dt))
+		t.get(name+".read.gbps").Append(now, sim.BytesPerNsToGBps((w.ReadBytes-prev.ReadBytes)/dt))
+		t.get(name+".write.gbps").Append(now, sim.BytesPerNsToGBps((w.WriteBytes-prev.WriteBytes)/dt))
 	}
 	t.get("migration.queue.pages").Append(now, float64(m.Migrator.QueueLen()))
 	t.get("migration.total.gb").Append(now, m.Migrator.Stats().Bytes/float64(sim.GB))

@@ -1,0 +1,78 @@
+package mem
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/tieredmem/hemem/internal/sim"
+	"github.com/tieredmem/hemem/internal/vm"
+)
+
+// Model builds the calibrated Spec of one memory technology at a given
+// capacity. The registry maps TierIDs to models so machine construction
+// can turn a tier descriptor table into devices without switching on the
+// tier enum.
+type Model func(capacity int64) Spec
+
+var models = map[vm.TierID]Model{}
+
+// RegisterModel binds a device model to a tier ID. Later registrations
+// replace earlier ones, so tests can substitute calibrations.
+func RegisterModel(t vm.TierID, m Model) { models[t] = m }
+
+// ModelFor returns the device model registered for tier t.
+func ModelFor(t vm.TierID) (Model, bool) {
+	m, ok := models[t]
+	return m, ok
+}
+
+// NewFor builds a device for tier t at the given capacity, or an error if
+// no model is registered.
+func NewFor(t vm.TierID, capacity int64) (*Device, error) {
+	m, ok := models[t]
+	if !ok {
+		return nil, fmt.Errorf("mem: no device model registered for tier %v", t)
+	}
+	return New(m(capacity)), nil
+}
+
+// RegisteredTiers returns the tier IDs with registered models, sorted.
+func RegisteredTiers() []vm.TierID {
+	out := make([]vm.TierID, 0, len(models))
+	for t := range models {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func init() {
+	RegisterModel(vm.TierDRAM, DRAMSpec)
+	RegisterModel(vm.TierNVM, NVMSpec)
+	RegisterModel(vm.TierDisk, DiskSpec)
+	RegisterModel(vm.TierCXL, CXLSpec)
+}
+
+// CXLSpec returns a calibrated CXL-attached DRAM expander: DDR behind a
+// CXL 2.0 x8 link. Load-to-use latency sits between local DRAM and
+// Optane (~210 ns, the extra ~130 ns being link + controller traversal,
+// consistent with published Pond/TPP measurements), bandwidth is
+// link-limited and — unlike Optane — symmetric between reads and writes,
+// and the media is ordinary DRAM with 64 B granularity and no wear
+// asymmetry.
+func CXLSpec(capacity int64) Spec {
+	return Spec{
+		Name:             "CXL",
+		Capacity:         capacity,
+		ReadLatency:      210,
+		WriteLatency:     210,
+		SeqOverhead:      12,
+		Stream:           [2]float64{sim.GBps(9.0), sim.GBps(8.5)},
+		StreamRand:       [2]float64{sim.GBps(4.5), sim.GBps(4.5)},
+		Peak:             [2][2]float64{{sim.GBps(26), sim.GBps(16)}, {sim.GBps(24), sim.GBps(15)}},
+		MediaGranularity: 64,
+	}
+}
+
+// NewCXL returns a calibrated CXL memory device of the given capacity.
+func NewCXL(capacity int64) *Device { return New(CXLSpec(capacity)) }

@@ -1,0 +1,59 @@
+package mem
+
+import (
+	"testing"
+
+	"github.com/tieredmem/hemem/internal/vm"
+)
+
+// The built-in tiers all have registered models, and NewFor builds a
+// device whose spec matches the direct constructor.
+func TestRegistryBuiltins(t *testing.T) {
+	for _, tier := range []vm.TierID{vm.TierDRAM, vm.TierNVM, vm.TierDisk, vm.TierCXL} {
+		d, err := NewFor(tier, 16)
+		if err != nil {
+			t.Fatalf("NewFor(%v): %v", tier, err)
+		}
+		if d.Spec.Capacity != 16 {
+			t.Fatalf("%v capacity = %d", tier, d.Spec.Capacity)
+		}
+		if err := d.Spec.Validate(); err != nil {
+			t.Fatalf("%v spec invalid: %v", tier, err)
+		}
+	}
+	if _, err := NewFor(vm.TierNone, 1); err == nil {
+		t.Fatal("NewFor(TierNone) should fail: no model registered")
+	}
+	got := RegisteredTiers()
+	want := []vm.TierID{vm.TierDRAM, vm.TierNVM, vm.TierDisk, vm.TierCXL}
+	if len(got) != len(want) {
+		t.Fatalf("RegisteredTiers = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("RegisteredTiers = %v, want sorted %v", got, want)
+		}
+	}
+}
+
+// The CXL calibration sits strictly between DRAM and NVM on latency, and
+// unlike NVM is read/write symmetric.
+func TestCXLCalibration(t *testing.T) {
+	cxl, dram, nvm := CXLSpec(1), DRAMSpec(1), NVMSpec(1)
+	if !(cxl.ReadLatency > dram.ReadLatency && cxl.ReadLatency < nvm.ReadLatency+100) {
+		t.Fatalf("CXL read latency %d out of band (DRAM %d, NVM %d)",
+			cxl.ReadLatency, dram.ReadLatency, nvm.ReadLatency)
+	}
+	if cxl.ReadLatency != cxl.WriteLatency {
+		t.Fatalf("CXL latency asymmetric: %d vs %d", cxl.ReadLatency, cxl.WriteLatency)
+	}
+	if cxl.Peak[Write][Sequential] < nvm.Peak[Write][Sequential]*2 {
+		t.Fatal("CXL write bandwidth should far exceed Optane's")
+	}
+	if cxl.Peak[Read][Sequential] > dram.Peak[Read][Sequential] {
+		t.Fatal("CXL link bandwidth should not exceed local DRAM's")
+	}
+	if cxl.MediaGranularity != 64 {
+		t.Fatalf("CXL media granularity = %d, want 64 (plain DRAM media)", cxl.MediaGranularity)
+	}
+}

@@ -68,6 +68,11 @@ type MemoryMode struct {
 	m   *machine.Machine
 	rng *sim.Rand
 
+	// devDRAM and devNVM are the cache and backing device indices,
+	// resolved from the machine's tier table at Attach (memory mode is
+	// inherently two-tier: DRAM cache over NVM).
+	devDRAM, devNVM machine.Dev
+
 	cacheSets float64
 	zones     map[*vm.PageSet]*zone
 	// order lists zones in first-observed order. The model must never
@@ -101,6 +106,13 @@ func (mm *MemoryMode) Attach(m *machine.Machine) {
 	mm.rng = sim.NewRand(m.Cfg.Seed ^ 0x3153)
 	mm.cacheSets = float64(m.Cfg.DRAMSize / lineSize)
 	mm.lastModel = -1
+	var ok bool
+	if mm.devDRAM, ok = m.DevOf(vm.TierDRAM); !ok {
+		panic("memmode: machine has no DRAM tier")
+	}
+	if mm.devNVM, ok = m.DevOf(vm.TierNVM); !ok {
+		panic("memmode: machine has no NVM tier")
+	}
 }
 
 // PageIn implements machine.Manager: in memory mode everything is backed
@@ -267,15 +279,15 @@ func (mm *MemoryMode) ComponentCost(c machine.Component) machine.CompCost {
 		fill := miss * lines * lineSize
 		wbBytes := miss * wb * lines * float64(nvm.MediaBytes(lineSize))
 
-		cc.Bytes[machine.DevDRAM][mem.Read] += dramBytes
-		cc.Bytes[machine.DevNVM][mem.Read] += nvmBytes
-		cc.Bytes[machine.DevDRAM][mem.Write] += fill
-		cc.Bytes[machine.DevNVM][mem.Write] += wbBytes
+		cc.Bytes[mm.devDRAM][mem.Read] += dramBytes
+		cc.Bytes[mm.devNVM][mem.Read] += nvmBytes
+		cc.Bytes[mm.devDRAM][mem.Write] += fill
+		cc.Bytes[mm.devNVM][mem.Write] += wbBytes
 
-		cc.Util[machine.DevDRAM][mem.Read] += dramBytes / dram.PeakFor(mem.Read, c.Pattern, c.ReadBytes)
-		cc.Util[machine.DevNVM][mem.Read] += nvmBytes / nvm.PeakFor(mem.Read, c.Pattern, lineSize)
-		cc.Util[machine.DevDRAM][mem.Write] += fill / dram.PeakFor(mem.Write, c.Pattern, lineSize)
-		cc.Util[machine.DevNVM][mem.Write] += wbBytes / nvm.PeakFor(mem.Write, mem.Random, lineSize)
+		cc.Util[mm.devDRAM][mem.Read] += dramBytes / dram.PeakFor(mem.Read, c.Pattern, c.ReadBytes)
+		cc.Util[mm.devNVM][mem.Read] += nvmBytes / nvm.PeakFor(mem.Read, c.Pattern, lineSize)
+		cc.Util[mm.devDRAM][mem.Write] += fill / dram.PeakFor(mem.Write, c.Pattern, lineSize)
+		cc.Util[mm.devNVM][mem.Write] += wbBytes / nvm.PeakFor(mem.Write, mem.Random, lineSize)
 	}
 
 	// Writes: stores land in the DRAM cache. If the component also reads
@@ -289,17 +301,17 @@ func (mm *MemoryMode) ComponentCost(c machine.Component) machine.CompCost {
 		}
 		dramBytes := float64(dram.MediaBytes(c.WriteBytes))
 		cc.Time += dramBytes / dram.Spec.Stream[mem.Write]
-		cc.Bytes[machine.DevDRAM][mem.Write] += dramBytes
-		cc.Util[machine.DevDRAM][mem.Write] += dramBytes / dram.PeakFor(mem.Write, c.Pattern, c.WriteBytes)
+		cc.Bytes[mm.devDRAM][mem.Write] += dramBytes
+		cc.Util[mm.devDRAM][mem.Write] += dramBytes / dram.PeakFor(mem.Write, c.Pattern, c.WriteBytes)
 
 		if storeMiss > 0 {
 			fetch := storeMiss * lines * float64(nvm.MediaBytes(lineSize))
 			wbBytes := storeMiss * wb * lines * float64(nvm.MediaBytes(lineSize))
 			cc.Time += storeMiss * nvm.AccessTime(mem.Read, c.Pattern, lineSize)
-			cc.Bytes[machine.DevNVM][mem.Read] += fetch
-			cc.Bytes[machine.DevNVM][mem.Write] += wbBytes
-			cc.Util[machine.DevNVM][mem.Read] += fetch / nvm.PeakFor(mem.Read, c.Pattern, lineSize)
-			cc.Util[machine.DevNVM][mem.Write] += wbBytes / nvm.PeakFor(mem.Write, mem.Random, lineSize)
+			cc.Bytes[mm.devNVM][mem.Read] += fetch
+			cc.Bytes[mm.devNVM][mem.Write] += wbBytes
+			cc.Util[mm.devNVM][mem.Read] += fetch / nvm.PeakFor(mem.Read, c.Pattern, lineSize)
+			cc.Util[mm.devNVM][mem.Write] += wbBytes / nvm.PeakFor(mem.Write, mem.Random, lineSize)
 		}
 	}
 	return cc

@@ -16,8 +16,16 @@ import (
 	"github.com/tieredmem/hemem/internal/sim"
 )
 
-// Tier identifies where a page currently resides.
+// Tier identifies where a page currently resides. Tier values index the
+// tier descriptor table: the built-in tiers below are pre-registered, and
+// RegisterTier extends the table for machines with additional memory
+// kinds. TierID is the index-flavoured alias used by table-keyed APIs
+// (device-model registry, per-tier fault counters, free targets).
 type Tier int8
+
+// TierID is an alias for Tier, used where a value is a table index rather
+// than a residency tag.
+type TierID = Tier
 
 const (
 	TierNone Tier = iota // not yet backed (never touched)
@@ -26,20 +34,72 @@ const (
 	// TierDisk is the optional slowest tier: pages swapped out to a
 	// block device (§3.4's "Swapping" discussion).
 	TierDisk
-	tierCount
+	// TierCXL is a CXL-attached memory expander: slower than DRAM,
+	// faster than NVM, with symmetric read/write bandwidth.
+	TierCXL
 )
 
+// MaxTiers bounds the tier table. Fixed-size per-tier arrays (fault
+// counters, migration edge counts) are sized by it so the structs that
+// embed them stay comparable.
+const MaxTiers = 8
+
+// tierNames is the descriptor table's name column; the index is the
+// TierID. RegisterTier appends to it.
+var tierNames = []string{"none", "DRAM", "NVM", "disk", "CXL"}
+
+// NumTiers returns the current size of the tier table (including
+// TierNone).
+func NumTiers() int { return len(tierNames) }
+
+// RegisterTier adds a named tier to the table and returns its TierID. If
+// the name is already registered the existing ID is returned, so
+// registration is idempotent and deterministic regardless of how many
+// machines are constructed.
+func RegisterTier(name string) Tier {
+	for i, n := range tierNames {
+		if n == name {
+			return Tier(i)
+		}
+	}
+	if len(tierNames) >= MaxTiers {
+		panic("vm: tier table full (MaxTiers)")
+	}
+	tierNames = append(tierNames, name)
+	return Tier(len(tierNames) - 1)
+}
+
+// String returns the tier's registered name. TierNone and values outside
+// the table are reported explicitly — an unknown tier prints as
+// "tier(<n>)" rather than silently aliasing a real one.
 func (t Tier) String() string {
 	switch t {
+	case TierNone:
+		return "none"
 	case TierDRAM:
 		return "DRAM"
 	case TierNVM:
 		return "NVM"
 	case TierDisk:
 		return "disk"
-	default:
-		return "none"
+	case TierCXL:
+		return "CXL"
 	}
+	if int(t) > 0 && int(t) < len(tierNames) {
+		return tierNames[t]
+	}
+	return fmt.Sprintf("tier(%d)", int(t))
+}
+
+// ParseTier maps a registered tier name back to its TierID; ok is false
+// for unknown names.
+func ParseTier(name string) (Tier, bool) {
+	for i, n := range tierNames {
+		if n == name {
+			return Tier(i), true
+		}
+	}
+	return TierNone, false
 }
 
 // PageID is a global page index within an AddressSpace.
@@ -127,21 +187,45 @@ func (p *Page) SetTier(t Tier) {
 	if p.Tier == t {
 		return
 	}
-	p.Region.counts[p.Tier]--
-	p.Region.counts[t]++
+	p.Region.counts = bump(p.Region.counts, p.Tier, t)
 	if s := p.set0; s != nil {
-		s.counts[p.Tier]--
-		s.counts[t]++
+		s.counts = bump(s.counts, p.Tier, t)
 	}
 	if s := p.set1; s != nil {
-		s.counts[p.Tier]--
-		s.counts[t]++
+		s.counts = bump(s.counts, p.Tier, t)
 	}
 	for _, s := range p.setsOv {
-		s.counts[p.Tier]--
-		s.counts[t]++
+		s.counts = bump(s.counts, p.Tier, t)
 	}
 	p.Tier = t
+}
+
+// bump moves one page's worth of occupancy from tier `from` to tier `to`
+// in a table-sized counter slice, growing the slice if a tier was
+// registered after the slice was allocated.
+func bump(c []int, from, to Tier) []int {
+	if int(to) >= len(c) || int(from) >= len(c) {
+		c = growCounts(c)
+	}
+	c[from]--
+	c[to]++
+	return c
+}
+
+// growCounts resizes a counter slice to the current tier-table size.
+func growCounts(c []int) []int {
+	n := make([]int, NumTiers())
+	copy(n, c)
+	return n
+}
+
+// countOf reads a counter slice at tier t, tolerating slices allocated
+// before t was registered.
+func countOf(c []int, t Tier) int {
+	if int(t) >= 0 && int(t) < len(c) {
+		return c[t]
+	}
+	return 0
 }
 
 // Region is a contiguous virtual address range created by an (intercepted)
@@ -155,25 +239,26 @@ type Region struct {
 	PageSize int64
 	Pages    []*Page
 
-	counts [tierCount]int
+	// counts is indexed by TierID and sized by the tier table.
+	counts []int
 }
 
 // Size returns the region length in bytes.
 func (r *Region) Size() int64 { return int64(len(r.Pages)) * r.PageSize }
 
 // Count returns how many of the region's pages are in tier t.
-func (r *Region) Count(t Tier) int { return r.counts[t] }
+func (r *Region) Count(t Tier) int { return countOf(r.counts, t) }
 
 // Frac returns the fraction of the region's pages in tier t.
 func (r *Region) Frac(t Tier) float64 {
 	if len(r.Pages) == 0 {
 		return 0
 	}
-	return float64(r.counts[t]) / float64(len(r.Pages))
+	return float64(countOf(r.counts, t)) / float64(len(r.Pages))
 }
 
 // Bytes returns the bytes of the region resident in tier t.
-func (r *Region) Bytes(t Tier) int64 { return int64(r.counts[t]) * r.PageSize }
+func (r *Region) Bytes(t Tier) int64 { return int64(countOf(r.counts, t)) * r.PageSize }
 
 // AsSet returns a PageSet covering the whole region.
 func (r *Region) AsSet() *PageSet {
@@ -189,15 +274,16 @@ func (r *Region) String() string {
 // 512 GB working set. Sets maintain per-tier occupancy so the machine can
 // split a traffic component across devices in O(1).
 type PageSet struct {
-	Name   string
-	pages  []*Page
-	counts [tierCount]int
+	Name  string
+	pages []*Page
+	// counts is indexed by TierID and sized by the tier table.
+	counts []int
 }
 
 // NewPageSet builds a set over the given pages and registers the
 // membership on each page.
 func NewPageSet(name string, pages []*Page) *PageSet {
-	s := &PageSet{Name: name, pages: make([]*Page, 0, len(pages))}
+	s := &PageSet{Name: name, pages: make([]*Page, 0, len(pages)), counts: make([]int, NumTiers())}
 	for _, p := range pages {
 		s.Add(p)
 	}
@@ -207,6 +293,9 @@ func NewPageSet(name string, pages []*Page) *PageSet {
 // Add inserts page p into the set.
 func (s *PageSet) Add(p *Page) {
 	s.pages = append(s.pages, p)
+	if int(p.Tier) >= len(s.counts) {
+		s.counts = growCounts(s.counts)
+	}
 	s.counts[p.Tier]++
 	p.addSet(s)
 }
@@ -219,6 +308,9 @@ func (s *PageSet) Remove(i int) *Page {
 	s.pages[i] = s.pages[last]
 	s.pages[last] = nil
 	s.pages = s.pages[:last]
+	if int(p.Tier) >= len(s.counts) {
+		s.counts = growCounts(s.counts)
+	}
 	s.counts[p.Tier]--
 	p.removeSet(s)
 	return p
@@ -234,7 +326,7 @@ func (s *PageSet) Page(i int) *Page { return s.pages[i] }
 func (s *PageSet) Pages() []*Page { return s.pages }
 
 // Count returns how many pages of the set are in tier t.
-func (s *PageSet) Count(t Tier) int { return s.counts[t] }
+func (s *PageSet) Count(t Tier) int { return countOf(s.counts, t) }
 
 // Frac returns the fraction of the set's pages in tier t. Pages still in
 // TierNone count toward neither.
@@ -242,7 +334,7 @@ func (s *PageSet) Frac(t Tier) float64 {
 	if len(s.pages) == 0 {
 		return 0
 	}
-	return float64(s.counts[t]) / float64(len(s.pages))
+	return float64(countOf(s.counts, t)) / float64(len(s.pages))
 }
 
 // Bytes returns set bytes, assuming a uniform page size.
@@ -296,6 +388,7 @@ func (a *AddressSpace) Map(name string, size int64) *Region {
 		r.Pages[i] = p
 		a.pages = append(a.pages, p)
 	}
+	r.counts = make([]int, NumTiers())
 	r.counts[TierNone] = n
 	a.nextVA += int64(n) * a.PageSize
 	a.Regions = append(a.Regions, r)

@@ -182,6 +182,56 @@ func TestTierString(t *testing.T) {
 	if TierDRAM.String() != "DRAM" || TierNVM.String() != "NVM" || TierNone.String() != "none" {
 		t.Fatal("Tier strings wrong")
 	}
+	if TierDisk.String() != "disk" || TierCXL.String() != "CXL" {
+		t.Fatal("Tier strings wrong for disk/CXL")
+	}
+	// Values outside the table must not silently alias a real tier.
+	if s := Tier(MaxTiers + 3).String(); s != "tier(11)" {
+		t.Fatalf("unknown tier prints %q, want explicit tier(11)", s)
+	}
+	if s := Tier(-1).String(); s != "tier(-1)" {
+		t.Fatalf("negative tier prints %q, want explicit tier(-1)", s)
+	}
+}
+
+// Every registered tier's name round-trips through ParseTier, and a newly
+// registered tier joins the table with a fresh, stable ID.
+func TestTierStringRoundTrip(t *testing.T) {
+	for id := Tier(0); int(id) < NumTiers(); id++ {
+		got, ok := ParseTier(id.String())
+		if !ok || got != id {
+			t.Fatalf("ParseTier(%q) = %v, %v; want %v, true", id.String(), got, ok, id)
+		}
+	}
+	if _, ok := ParseTier("no-such-tier"); ok {
+		t.Fatal("ParseTier accepted an unregistered name")
+	}
+	id := RegisterTier("hbm-test")
+	if again := RegisterTier("hbm-test"); again != id {
+		t.Fatalf("re-registering returned %v, want %v", again, id)
+	}
+	if got, ok := ParseTier("hbm-test"); !ok || got != id {
+		t.Fatalf("registered tier does not round-trip: %v, %v", got, ok)
+	}
+	if id.String() != "hbm-test" {
+		t.Fatalf("String() = %q, want hbm-test", id.String())
+	}
+}
+
+// Counter slices allocated before a tier registration grow transparently
+// when pages move into the new tier.
+func TestCountsGrowAcrossRegistration(t *testing.T) {
+	a := NewAddressSpace(2 * sim.MB)
+	r := a.Map("heap", 10*sim.MB)
+	s := NewPageSet("all", r.Pages)
+	late := RegisterTier("late-test")
+	r.Pages[0].SetTier(late)
+	if r.Count(late) != 1 || s.Count(late) != 1 {
+		t.Fatalf("late-tier counts = %d/%d, want 1/1", r.Count(late), s.Count(late))
+	}
+	if r.Count(TierNone) != len(r.Pages)-1 {
+		t.Fatalf("TierNone count = %d", r.Count(TierNone))
+	}
 }
 
 func TestMapPanicsOnBadPageSize(t *testing.T) {
