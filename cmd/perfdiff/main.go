@@ -1,0 +1,84 @@
+// Command perfdiff compares two performance-harness reports (the JSON
+// written by `hemem-bench -perf`, see internal/bench/perf.go) and flags
+// per-case regressions. It is a soft gate: regressions and digest
+// mismatches are reported as warnings (GitHub-annotation formatted when
+// running in CI) and the exit status is always 0, because shared CI
+// runners are too noisy for a hard wall-clock threshold.
+//
+// Usage:
+//
+//	perfdiff -baseline BENCH_pr5.json -current bench-ci.json [-threshold 0.20]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/tieredmem/hemem/internal/bench"
+)
+
+func load(path string) (bench.PerfReport, error) {
+	var rep bench.PerfReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+func main() {
+	baseline := flag.String("baseline", "", "committed baseline report (JSON)")
+	current := flag.String("current", "", "freshly measured report (JSON)")
+	threshold := flag.Float64("threshold", 0.20, "warn when sim_ns_per_sec drops by more than this fraction")
+	flag.Parse()
+	if *baseline == "" || *current == "" {
+		fmt.Fprintln(os.Stderr, "perfdiff: -baseline and -current are required")
+		os.Exit(2)
+	}
+	base, err := load(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfdiff:", err)
+		os.Exit(2)
+	}
+	cur, err := load(*current)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfdiff:", err)
+		os.Exit(2)
+	}
+
+	warn := func(format string, args ...any) {
+		// ::warning:: renders as an annotation on GitHub Actions and as
+		// a plain line everywhere else.
+		fmt.Printf("::warning ::"+format+"\n", args...)
+	}
+
+	baseCases := map[string]bench.PerfResult{}
+	for _, c := range base.Cases {
+		baseCases[c.ID] = c
+	}
+	for _, c := range cur.Cases {
+		b, ok := baseCases[c.ID]
+		if !ok {
+			fmt.Printf("%-8s new case (no baseline)\n", c.ID)
+			continue
+		}
+		ratio := c.SimNSPerSec / b.SimNSPerSec
+		fmt.Printf("%-8s sim-ns/s %.3g -> %.3g (%.2fx)  allocs %d -> %d\n",
+			c.ID, b.SimNSPerSec, c.SimNSPerSec, ratio, b.Allocs, c.Allocs)
+		if c.Digest != b.Digest {
+			warn("%s: digest changed %s -> %s (simulated results differ from baseline)", c.ID, b.Digest, c.Digest)
+		}
+		if !c.Deterministic {
+			warn("%s: run was not deterministic", c.ID)
+		}
+		if ratio < 1-*threshold {
+			warn("%s: sim_ns_per_sec regressed %.0f%% vs baseline (%.3g -> %.3g)",
+				c.ID, (1-ratio)*100, b.SimNSPerSec, c.SimNSPerSec)
+		}
+	}
+}

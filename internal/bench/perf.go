@@ -23,9 +23,10 @@ import (
 // verifies that repeated seeded runs produce bit-identical simulated
 // results, and times the full experiment suite serially vs on the
 // parallel sweep engine (sweep.go), checking the outputs byte-identical.
-// `make bench` writes the report to BENCH_pr3.json so perf regressions in
+// `make bench` writes the report to BENCH_pr5.json so perf regressions in
 // the hot path (sampling, policy tick, migration queue) and in the
-// harness show up as a diffable artifact.
+// harness show up as a diffable artifact; CI compares a fresh run against
+// the committed baseline with cmd/perfdiff and warns on regressions.
 
 // PerfResult is one scenario's measurement.
 type PerfResult struct {
@@ -50,24 +51,34 @@ type PerfResult struct {
 }
 
 // SweepPerf measures the parallel sweep engine: the full experiment
-// suite run serially (one worker) and again on a worker pool, with the
-// outputs compared byte for byte.
+// suite run serially (one worker) and — when the host actually has more
+// than one CPU — again on a worker pool, with the outputs compared byte
+// for byte. On a 1-CPU host the parallel leg is skipped (a "speedup"
+// measured there is just scheduling overhead, not a property of the
+// engine) and Note says so.
 type SweepPerf struct {
 	// Experiments is the id set measured ("all").
 	Experiments string `json:"experiments"`
-	// Jobs is the worker pool size of the parallel leg.
+	// Jobs is the worker pool size of the parallel leg, capped at NumCPU
+	// so the comparison never oversubscribes the host.
 	Jobs int `json:"jobs"`
-	// SerialSeconds and ParallelSeconds are the wall clocks of the two
-	// legs; Speedup is their ratio. On a single-core runner the ratio
-	// stays near 1 — interpret it against NumCPU in the report header.
+	// NumCPU is runtime.NumCPU() on the measuring host — the context for
+	// interpreting Speedup.
+	NumCPU int `json:"num_cpu"`
+	// SerialSeconds is the wall clock of the serial leg.
+	// ParallelSeconds and Speedup are present only when the parallel leg
+	// ran (NumCPU > 1).
 	SerialSeconds   float64 `json:"serial_wall_seconds"`
-	ParallelSeconds float64 `json:"parallel_wall_seconds"`
-	Speedup         float64 `json:"speedup"`
+	ParallelSeconds float64 `json:"parallel_wall_seconds,omitempty"`
+	Speedup         float64 `json:"speedup,omitempty"`
 	// IdenticalOutput reports whether the two legs produced byte-identical
-	// experiment output (they must; see sweep.go).
-	IdenticalOutput bool `json:"identical_output"`
+	// experiment output (they must; see sweep.go). Absent when the
+	// parallel leg was skipped.
+	IdenticalOutput *bool `json:"identical_output,omitempty"`
 	// OutputBytes is the size of the rendered suite output.
 	OutputBytes int `json:"output_bytes"`
+	// Note explains a skipped parallel leg.
+	Note string `json:"note,omitempty"`
 }
 
 // PerfReport is the full harness output.
@@ -221,21 +232,34 @@ func runSweepPerf(o Opts) *SweepPerf {
 		}
 		return buf.String(), time.Since(start).Seconds()
 	}
+	numCPU := runtime.NumCPU()
 	jobs := runtime.GOMAXPROCS(0)
 	if jobs < 4 {
 		jobs = 4
 	}
-	serialOut, serialWall := runAll(1)
-	parOut, parWall := runAll(jobs)
-	return &SweepPerf{
-		Experiments:     "all",
-		Jobs:            jobs,
-		SerialSeconds:   serialWall,
-		ParallelSeconds: parWall,
-		Speedup:         serialWall / parWall,
-		IdenticalOutput: serialOut == parOut,
-		OutputBytes:     len(serialOut),
+	// A pool wider than the host's CPUs can only add scheduling overhead;
+	// the byte-identity of arbitrary widths is covered by sweep_test.go.
+	if jobs > numCPU {
+		jobs = numCPU
 	}
+	serialOut, serialWall := runAll(1)
+	s := &SweepPerf{
+		Experiments:   "all",
+		Jobs:          jobs,
+		NumCPU:        numCPU,
+		SerialSeconds: serialWall,
+		OutputBytes:   len(serialOut),
+	}
+	if numCPU == 1 {
+		s.Note = "parallel comparison skipped: host has 1 CPU, a worker pool cannot speed it up"
+		return s
+	}
+	parOut, parWall := runAll(jobs)
+	ident := serialOut == parOut
+	s.ParallelSeconds = parWall
+	s.Speedup = serialWall / parWall
+	s.IdenticalOutput = &ident
+	return s
 }
 
 // WritePerf runs the harness and writes the JSON report plus a short
@@ -251,12 +275,16 @@ func WritePerf(jsonOut io.Writer, log io.Writer, o Opts) error {
 			c.ID, c.WallSeconds, c.SimNSPerSec, c.Allocs, c.Score, det)
 	}
 	if s := rep.Sweep; s != nil {
-		ident := "byte-identical"
-		if !s.IdenticalOutput {
-			ident = "OUTPUT MISMATCH"
+		if s.IdenticalOutput == nil {
+			fmt.Fprintf(log, "sweep    serial %.1fs  (%s)\n", s.SerialSeconds, s.Note)
+		} else {
+			ident := "byte-identical"
+			if !*s.IdenticalOutput {
+				ident = "OUTPUT MISMATCH"
+			}
+			fmt.Fprintf(log, "sweep    serial %.1fs  jobs=%d/%d cpus %.1fs  speedup %.2fx  %s\n",
+				s.SerialSeconds, s.Jobs, s.NumCPU, s.ParallelSeconds, s.Speedup, ident)
 		}
-		fmt.Fprintf(log, "sweep    serial %.1fs  jobs=%d %.1fs  speedup %.2fx  %s\n",
-			s.SerialSeconds, s.Jobs, s.ParallelSeconds, s.Speedup, ident)
 	}
 	enc := json.NewEncoder(jsonOut)
 	enc.SetIndent("", "  ")

@@ -624,9 +624,7 @@ func (h *HeMem) OnQuantum(now, dt int64) {
 	for {
 		n := h.reader.DrainBatch(h.buffer, grant, h.recScratch)
 		grant = 0
-		for i := 0; i < n; i++ {
-			h.onSample(h.recScratch[i])
-		}
+		h.onSampleBatch(h.recScratch[:n])
 		if n < len(h.recScratch) {
 			break
 		}
@@ -634,24 +632,40 @@ func (h *HeMem) OnQuantum(now, dt int64) {
 	h.reader.Settle(dt)
 }
 
+// onSampleBatch classifies a drained batch of records. The page-info
+// table lookup and unmanaged-page filter are inlined here so the batch
+// loop amortizes the bounds/nil checks instead of paying a call and a
+// table re-load per record.
+func (h *HeMem) onSampleBatch(recs []pebs.Record) {
+	pages := h.pages
+	for i := range recs {
+		rec := &recs[i]
+		if int(rec.Page) >= len(pages) {
+			continue // unmanaged page
+		}
+		pi := pages[rec.Page]
+		if pi == nil {
+			continue // unmanaged page
+		}
+		h.classifySample(pi, rec.Kind)
+	}
+}
+
 // ActiveThreads implements machine.Manager.
 func (h *HeMem) ActiveThreads() float64 { return h.cfg.BackgroundThreads }
 
-// onSample is the classifier (§3.1): lazy cooling, counter update,
-// hot/cold list movement, write-heavy promotion, and cooling-clock
-// advancement.
-func (h *HeMem) onSample(rec pebs.Record) {
-	pi := h.info(rec.Page)
-	if pi == nil {
-		return // unmanaged page
-	}
+// classifySample is the per-record classifier (§3.1): lazy cooling,
+// counter update, hot/cold list movement, write-heavy promotion, and
+// cooling-clock advancement. The caller (onSampleBatch) has already
+// resolved the record's PageInfo and filtered unmanaged pages.
+func (h *HeMem) classifySample(pi *PageInfo, kind pebs.Kind) {
 	h.stats.Samples++
 
 	if !h.cfg.NoCooling && pi.CoolClock != h.clock {
 		h.cool(pi)
 	}
 
-	if rec.Kind == pebs.Store {
+	if kind == pebs.Store {
 		pi.Writes++
 	} else {
 		pi.Reads++

@@ -1,0 +1,72 @@
+package gap
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestCalibrationCacheMatchesDirect pins the cache's transparency: the
+// cached graph and traffic summary must equal a direct (uncached)
+// generation, including across the EdgeFactor 0 → 16 normalization.
+func TestCalibrationCacheMatchesDirect(t *testing.T) {
+	cfg := KroneckerConfig{Scale: 10, EdgeFactor: 16, Seed: 99}
+	direct := Build(1<<cfg.Scale, Kronecker(cfg))
+	cached := CalibrationGraph(cfg)
+	if cached.N != direct.N || len(cached.Neighbors) != len(direct.Neighbors) {
+		t.Fatalf("cached graph shape (%d, %d) != direct (%d, %d)",
+			cached.N, len(cached.Neighbors), direct.N, len(direct.Neighbors))
+	}
+	for i := range direct.Neighbors {
+		if cached.Neighbors[i] != direct.Neighbors[i] {
+			t.Fatalf("neighbor %d: cached %d != direct %d", i, cached.Neighbors[i], direct.Neighbors[i])
+		}
+	}
+	if def := CalibrationGraph(KroneckerConfig{Scale: 10, Seed: 99}); def != cached {
+		t.Fatal("EdgeFactor 0 did not normalize to the EdgeFactor 16 entry")
+	}
+	const chunks = 37
+	want := direct.ChunkTraffic(chunks)
+	got := CalibrationTraffic(cfg, chunks)
+	if len(got) != len(want) {
+		t.Fatalf("traffic length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("traffic[%d]: cached %v != direct %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestCalibrationCacheConcurrent hammers the cache from concurrent
+// workers (as parallel sweep cells do) and checks every worker saw the
+// identical summary. Run under -race this also proves the build-once
+// synchronization is sound.
+func TestCalibrationCacheConcurrent(t *testing.T) {
+	cfg := KroneckerConfig{Scale: 11, EdgeFactor: 16, Seed: 7}
+	const chunks = 53
+	want := Build(1<<cfg.Scale, Kronecker(cfg)).ChunkTraffic(chunks)
+
+	const workers = 8
+	results := make([][]float64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			g := CalibrationGraph(cfg)
+			_ = g.DegreeSkew(0.1)
+			results[w] = CalibrationTraffic(cfg, chunks)
+		}(w)
+	}
+	wg.Wait()
+	for w, got := range results {
+		if len(got) != len(want) {
+			t.Fatalf("worker %d: traffic length %d, want %d", w, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("worker %d traffic[%d]: %v != %v", w, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -88,11 +88,12 @@ func NewDriver(m *machine.Machine, cfg DriverConfig) *Driver {
 	d.vertexRegion = m.AS.Map("gap-vertex", vertexBytes)
 
 	// Measure page-level degree concentration on a real (small) graph:
-	// chunk the vertex range as the full-scale pages chunk it.
-	edges := Kronecker(KroneckerConfig{Scale: cfg.CalibrationScale, EdgeFactor: cfg.EdgeFactor, Seed: cfg.Seed})
-	g := Build(1<<cfg.CalibrationScale, edges)
+	// chunk the vertex range as the full-scale pages chunk it. The graph
+	// and summary are pure functions of (scale, edge factor, seed), so
+	// they come from the process-wide calibration cache instead of being
+	// rebuilt per driver/sweep cell.
 	pages := d.vertexRegion.Pages
-	traffic := g.ChunkTraffic(len(pages))
+	traffic := CalibrationTraffic(KroneckerConfig{Scale: cfg.CalibrationScale, EdgeFactor: cfg.EdgeFactor, Seed: cfg.Seed}, len(pages))
 
 	// Split pages into three zones: the hottest pages covering ~40% of
 	// vertex traffic, the next ~35%, and the tail. Pages are taken in id

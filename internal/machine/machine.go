@@ -164,10 +164,21 @@ type Manager interface {
 // machine keeps a reusable slice of these so Step allocates nothing.
 type wstate struct {
 	w     Workload
+	meta  *workloadMeta
 	comps []Component
 	costs []CompCost
 	rate  float64 // ops/ns
 	time  float64 // per-op ns (at achieved rate)
+}
+
+// workloadMeta is the per-workload bookkeeping (throughput series,
+// cumulative ops) resolved once at AddWorkload, so the per-quantum commit
+// path updates it through a pointer instead of a string-map lookup per
+// workload per quantum.
+type workloadMeta struct {
+	w        Workload
+	series   *sim.Series
+	totalOps float64
 }
 
 // Releaser is implemented by managers that support region teardown:
@@ -450,16 +461,16 @@ type Machine struct {
 
 	// Per-quantum solver scratch, reused across Step calls so the hot
 	// loop does not allocate per quantum.
-	ws       []wstate
-	obsComps []Component
-	obsRates []float64
+	ws            []wstate
+	obsComps      []Component
+	obsRates      []float64
+	sampleScratch []pebs.Record
 
 	// Metrics
-	throughput map[string]*sim.Series // ops/s per workload over time
+	wmeta      []*workloadMeta // parallel to Workloads
 	telemetry  *Telemetry
 	sampleEach int64
 	lastSample int64
-	totalOps   map[string]float64
 	faults     int64
 }
 
@@ -481,8 +492,6 @@ func New(cfg Config, mgr Manager) *Machine {
 		AS:         vm.NewAddressSpace(cfg.PageSize),
 		Mgr:        mgr,
 		rates:      make(map[*vm.PageSet]*SetRates),
-		throughput: make(map[string]*sim.Series),
-		totalOps:   make(map[string]float64),
 		sampleEach: 100 * sim.Millisecond,
 	}
 	m.devs = make([]*mem.Device, len(cfg.Tiers))
@@ -593,10 +602,12 @@ func (m *Machine) SlowerTier(t vm.TierID) (vm.TierID, bool) {
 	return m.Cfg.Tiers[d+1].ID, true
 }
 
-// AddWorkload registers a workload to run.
+// AddWorkload registers a workload to run. The workload's metric slots
+// (throughput series, ops counter) are resolved here, once, so Step never
+// consults a name-keyed map.
 func (m *Machine) AddWorkload(w Workload) {
 	m.Workloads = append(m.Workloads, w)
-	m.throughput[w.Name()] = &sim.Series{Name: w.Name()}
+	m.wmeta = append(m.wmeta, &workloadMeta{w: w, series: &sim.Series{Name: w.Name()}})
 }
 
 // StallAll charges every running application thread d nanoseconds of stall
@@ -656,11 +667,26 @@ func (m *Machine) Unmap(r *vm.Region) {
 	m.AS.Unmap(r)
 }
 
-// Throughput returns the recorded ops/s series for workload name.
-func (m *Machine) Throughput(name string) *sim.Series { return m.throughput[name] }
+// Throughput returns the recorded ops/s series for workload name, or nil
+// if no such workload is registered.
+func (m *Machine) Throughput(name string) *sim.Series {
+	for _, wm := range m.wmeta {
+		if wm.w.Name() == name {
+			return wm.series
+		}
+	}
+	return nil
+}
 
 // TotalOps returns cumulative operations completed by workload name.
-func (m *Machine) TotalOps(name string) float64 { return m.totalOps[name] }
+func (m *Machine) TotalOps(name string) float64 {
+	for _, wm := range m.wmeta {
+		if wm.w.Name() == name {
+			return wm.totalOps
+		}
+	}
+	return 0
+}
 
 // Run advances the machine by duration.
 func (m *Machine) Run(duration int64) {
@@ -708,7 +734,7 @@ func (m *Machine) Step(dt int64) {
 
 	m.ws = m.ws[:0]
 	appThreads := 0
-	for _, w := range m.Workloads {
+	for wi, w := range m.Workloads {
 		if w.Done() {
 			continue
 		}
@@ -719,7 +745,7 @@ func (m *Machine) Step(dt int64) {
 			m.ws = append(m.ws, wstate{})
 		}
 		s := &m.ws[len(m.ws)-1]
-		s.w, s.comps, s.rate, s.time = w, w.Components(), 0, 0
+		s.w, s.meta, s.comps, s.rate, s.time = w, m.wmeta[wi], w.Components(), 0, 0
 		appThreads += w.Threads()
 	}
 	ws := m.ws
@@ -771,7 +797,8 @@ func (m *Machine) Step(dt int64) {
 		if comp, ok := s.w.(Computes); ok {
 			opTime += comp.ComputePerOp()
 		}
-		for j, c := range s.comps {
+		for j := range s.comps {
+			c := &s.comps[j]
 			cc := m.costComponent(c)
 			s.costs[j] = cc
 			opTime += c.Share * cc.Time
@@ -830,15 +857,16 @@ func (m *Machine) Step(dt int64) {
 	for i := range ws {
 		s := &ws[i]
 		ops := s.rate * float64(dt)
-		m.totalOps[s.w.Name()] += ops
+		s.meta.totalOps += ops
 		s.w.OnOps(now, ops, s.time)
-		for j, c := range s.comps {
+		for j := range s.comps {
+			c := &s.comps[j]
 			occ := ops * c.Share
 			if occ <= 0 || c.Set == nil || c.Set.Len() == 0 {
 				continue
 			}
 			if observing {
-				obsComps = append(obsComps, c)
+				obsComps = append(obsComps, *c)
 				obsRates = append(obsRates, s.rate*c.Share)
 			}
 			// Wear: charge media bytes to devices.
@@ -877,7 +905,7 @@ func (m *Machine) Step(dt int64) {
 	// Record instantaneous throughput periodically.
 	if now-m.lastSample >= m.sampleEach {
 		for i := range ws {
-			m.throughput[ws[i].w.Name()].Append(now, ws[i].rate*1e9)
+			ws[i].meta.series.Append(now, ws[i].rate*1e9)
 		}
 		m.lastSample = now
 	}
@@ -894,29 +922,44 @@ func (m *Machine) Step(dt int64) {
 // batches (Sampler.Take) and pushed directly, with no closure per sample;
 // the RNG is consumed in exactly the order the per-sample callback API
 // did, so seeded runs stay bit-identical.
-func (m *Machine) feedSamples(s *pebs.Sampler, c Component, occ float64) {
+func (m *Machine) feedSamples(s *pebs.Sampler, c *Component, occ float64) {
 	// PEBS storm episodes multiply the sample inflow (counter
 	// misconfiguration / interrupt pressure); the factor is 1 outside
 	// storms and the multiply is skipped entirely then, keeping fault-free
 	// arithmetic bit-identical.
 	loadF := m.Injector.PEBSLoadFactor()
 	buf := s.Buffer()
-	setLen := c.Set.Len()
+	pages := c.Set.Pages()
+	setLen := len(pages)
+	rng := m.Rng
+	if m.sampleScratch == nil {
+		m.sampleScratch = make([]pebs.Record, 256)
+	}
+	scratch := m.sampleScratch
 	if c.ReadBytes > 0 {
 		lines := math.Ceil(float64(c.ReadBytes) / 64)
 		n := occ * lines
 		if loadF != 1 {
 			n *= loadF
 		}
-		for k := s.Take(n, pebs.ClassLoad); k > 0; k-- {
-			p := c.Set.Page(m.Rng.Intn(setLen))
-			// PEBS distinguishes loads served by the top of the chain
-			// from everything below it (local DRAM vs far memory).
-			kind := pebs.LoadDRAM
-			if p.Tier != m.fastest {
-				kind = pebs.LoadNVM
+		for k := s.Take(n, pebs.ClassLoad); k > 0; {
+			batch := k
+			if batch > len(scratch) {
+				batch = len(scratch)
 			}
-			buf.Push(pebs.Record{Page: p.ID, Kind: kind})
+			for i := 0; i < batch; i++ {
+				p := pages[rng.Intn(setLen)]
+				// PEBS distinguishes loads served by the top of the
+				// chain from everything below it (local DRAM vs far
+				// memory).
+				kind := pebs.LoadDRAM
+				if p.Tier != m.fastest {
+					kind = pebs.LoadNVM
+				}
+				scratch[i] = pebs.Record{Page: p.ID, Kind: kind}
+			}
+			buf.PushBatch(scratch[:batch])
+			k -= batch
 		}
 	}
 	if c.WriteBytes > 0 {
@@ -925,20 +968,29 @@ func (m *Machine) feedSamples(s *pebs.Sampler, c Component, occ float64) {
 		if loadF != 1 {
 			n *= loadF
 		}
-		for k := s.Take(n, pebs.ClassStore); k > 0; k-- {
-			p := c.Set.Page(m.Rng.Intn(setLen))
-			buf.Push(pebs.Record{Page: p.ID, Kind: pebs.Store})
+		for k := s.Take(n, pebs.ClassStore); k > 0; {
+			batch := k
+			if batch > len(scratch) {
+				batch = len(scratch)
+			}
+			for i := 0; i < batch; i++ {
+				p := pages[rng.Intn(setLen)]
+				scratch[i] = pebs.Record{Page: p.ID, Kind: pebs.Store}
+			}
+			buf.PushBatch(scratch[:batch])
+			k -= batch
 		}
 	}
 }
 
 // costComponent prices one component occurrence, delegating to the
-// manager's cost model if it has one.
-func (m *Machine) costComponent(c Component) CompCost {
+// manager's cost model if it has one. It takes a pointer so the per-
+// component solver loop doesn't copy the Component struct per call.
+func (m *Machine) costComponent(c *Component) CompCost {
 	if cm, ok := m.Mgr.(CostModeler); ok {
-		return cm.ComponentCost(c)
+		return cm.ComponentCost(*c)
 	}
-	return m.PlacementCost(c)
+	return m.placementCost(c)
 }
 
 // TLB model constants: a Cascade Lake-class dTLB holds ~1536 entries; a
@@ -967,7 +1019,12 @@ func (m *Machine) TLBWalkCost(set *vm.PageSet, pattern mem.Pattern) float64 {
 // PlacementCost is the default cost model for placement-based managers:
 // the component's set is split by current tier occupancy, and each side is
 // charged the device's latency and streaming time at media granularity.
-func (m *Machine) PlacementCost(c Component) CompCost {
+func (m *Machine) PlacementCost(c Component) CompCost { return m.placementCost(&c) }
+
+// placementCost is PlacementCost without the per-call struct copy; the
+// per-quantum solver loop calls it through costComponent with a pointer
+// into the workload's component slice.
+func (m *Machine) placementCost(c *Component) CompCost {
 	var cc CompCost
 	if c.Set == nil || c.Set.Len() == 0 {
 		cc.Time = 1

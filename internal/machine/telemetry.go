@@ -113,8 +113,8 @@ func (t *Telemetry) sample(m *Machine, now int64, stallFrac float64) {
 	t.get("migration.queue.pages").Append(now, float64(m.Migrator.QueueLen()))
 	t.get("migration.total.gb").Append(now, m.Migrator.Stats().Bytes/float64(sim.GB))
 	t.get("stall.frac").Append(now, stallFrac)
-	for _, w := range m.Workloads {
-		t.get("workload."+w.Name()+".ops").Append(now, m.totalOps[w.Name()])
+	for _, wm := range m.wmeta {
+		t.get("workload."+wm.w.Name()+".ops").Append(now, wm.totalOps)
 	}
 	// Fault series exist only when injection is enabled, so fault-free
 	// telemetry (and its CSV) is byte-identical to builds without the

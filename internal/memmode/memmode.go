@@ -37,6 +37,25 @@ type zone struct {
 	hit   float64 // P(access to a line of this zone hits)
 	wb    float64 // expected dirty-victim writebacks per miss
 	valid bool
+
+	// seenGen marks the last ObserveTraffic pass that updated this zone's
+	// rates, so repeated components over the same set within one pass
+	// accumulate while a new pass overwrites — without a per-quantum
+	// "seen" map allocation.
+	seenGen uint64
+}
+
+// zoneModel is one zone's invariant state for a refreshModel pass,
+// flattened out of the zone structs so the Monte-Carlo inner loop walks a
+// compact slice, touches no maps, and calls no transcendentals: the
+// per-line rate and dirty fraction are hoisted, and the Poisson mean
+// λ = lines/cacheSets is prepped once so each of the zones × MCSamples
+// draws reuses the cached exp(-λ) instead of recomputing it.
+type zoneModel struct {
+	z       *zone
+	perLine float64
+	dirty   float64
+	prep    sim.PoissonPrep
 }
 
 // perLineRate is the access rate of one line of the zone.
@@ -79,7 +98,12 @@ type MemoryMode struct {
 	// iterate the zones map: map order would randomize the RNG draw
 	// sequence and float summation order in refreshModel, making MM
 	// results differ run to run.
-	order     []*zone
+	order []*zone
+	// scratch is the reusable flattened zone table refreshModel builds
+	// each pass (see zoneModel).
+	scratch []zoneModel
+	// gen counts ObserveTraffic passes; see zone.seenGen.
+	gen       uint64
 	lastModel int64
 	// ModelRefresh controls how often the Monte-Carlo occupancy model is
 	// recomputed (simulated ns).
@@ -128,8 +152,9 @@ func (mm *MemoryMode) ActiveThreads() float64 { return 0 }
 // ObserveTraffic implements machine.TrafficObserver: update zone rates and
 // periodically refresh the occupancy model.
 func (mm *MemoryMode) ObserveTraffic(now int64, comps []machine.Component, occRates []float64) {
-	seen := make(map[*vm.PageSet]bool, len(comps))
-	for i, c := range comps {
+	mm.gen++
+	for i := range comps {
+		c := &comps[i]
 		z, ok := mm.zones[c.Set]
 		if !ok {
 			z = &zone{set: c.Set, lines: float64(c.Set.Bytes() / lineSize)}
@@ -139,13 +164,13 @@ func (mm *MemoryMode) ObserveTraffic(now int64, comps []machine.Component, occRa
 		z.pattern = c.Pattern
 		rl := occRates[i] * linesOf(c.ReadBytes)
 		wl := occRates[i] * linesOf(c.WriteBytes)
-		if seen[c.Set] {
+		if z.seenGen == mm.gen {
 			z.readLineRate += rl
 			z.writeLineRate += wl
 		} else {
 			z.readLineRate = rl
 			z.writeLineRate = wl
-			seen[c.Set] = true
+			z.seenGen = mm.gen
 		}
 	}
 	if mm.lastModel < 0 || now-mm.lastModel >= mm.ModelRefresh {
@@ -163,24 +188,36 @@ func linesOf(bytes int64) float64 {
 }
 
 // refreshModel recomputes per-zone hit rates and writeback expectations by
-// Monte Carlo over cache-set compositions.
+// Monte Carlo over cache-set compositions. The active zones are flattened
+// into a reusable scratch table with their per-line rate, dirty fraction,
+// and prepped Poisson constants, so the sampling loops below perform only
+// multiplies, divides, and RNG draws — the draw sequence and float
+// summation order are exactly those of the unflattened model, keeping
+// seeded MM results bit-identical.
 func (mm *MemoryMode) refreshModel() {
-	zones := make([]*zone, 0, len(mm.order))
+	zs := mm.scratch[:0]
 	for _, z := range mm.order {
-		if z.perLineRate() > 0 {
-			zones = append(zones, z)
+		if pl := z.perLineRate(); pl > 0 {
+			zs = append(zs, zoneModel{
+				z:       z,
+				perLine: pl,
+				dirty:   z.dirtyFrac(),
+				prep:    sim.NewPoissonPrep(z.lines / mm.cacheSets),
+			})
 		}
 	}
-	for _, target := range zones {
-		a := target.perLineRate()
+	mm.scratch = zs
+	for ti := range zs {
+		target := &zs[ti]
+		a := target.perLine
 		var hitSum, wbSum, missSum float64
 		for s := 0; s < mm.MCSamples; s++ {
 			// Competing line-rate mass in this cache set.
 			var compete float64
 			var rateByZone [16]float64
-			for j, z := range zones {
-				k := mm.rng.Poisson(z.lines / mm.cacheSets)
-				r := float64(k) * z.perLineRate()
+			for j := range zs {
+				k := mm.rng.PoissonCached(zs[j].prep)
+				r := float64(k) * zs[j].perLine
 				compete += r
 				if j < len(rateByZone) {
 					rateByZone[j] = r
@@ -201,21 +238,21 @@ func (mm *MemoryMode) refreshModel() {
 				miss := 1 - hit
 				missSum += miss
 				var wb float64
-				for j, z := range zones {
+				for j := range zs {
 					if j < len(rateByZone) {
-						wb += rateByZone[j] / compete * z.dirtyFrac()
+						wb += rateByZone[j] / compete * zs[j].dirty
 					}
 				}
 				wbSum += miss * wb
 			}
 		}
-		target.hit = hitSum / float64(mm.MCSamples)
+		target.z.hit = hitSum / float64(mm.MCSamples)
 		if missSum > 0 {
-			target.wb = wbSum / missSum
+			target.z.wb = wbSum / missSum
 		} else {
-			target.wb = 0
+			target.z.wb = 0
 		}
-		target.valid = true
+		target.z.valid = true
 	}
 }
 

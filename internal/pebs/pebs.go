@@ -76,6 +76,32 @@ func (b *Buffer) Push(r Record) bool {
 	return true
 }
 
+// PushBatch appends recs, dropping (and counting) the suffix that does
+// not fit. It is the bulk form of Push: the ring is written with at most
+// two copies instead of a modulo and a call per record. Accepted count,
+// ring contents, and the pushed/dropped counters match a sequential
+// Push of the same records exactly. Returns how many were accepted.
+func (b *Buffer) PushBatch(recs []Record) int {
+	n := len(recs)
+	if free := len(b.buf) - b.n; n > free {
+		b.dropped += uint64(n - free)
+		n = free
+	}
+	if n == 0 {
+		return 0
+	}
+	tail := (b.head + b.n) % len(b.buf)
+	first := len(b.buf) - tail
+	if first > n {
+		first = n
+	}
+	copy(b.buf[tail:tail+first], recs[:first])
+	copy(b.buf[:n-first], recs[first:n])
+	b.n += n
+	b.pushed += uint64(n)
+	return n
+}
+
 // Pop removes the oldest record.
 func (b *Buffer) Pop() (Record, bool) {
 	if b.n == 0 {

@@ -241,3 +241,58 @@ func TestKindString(t *testing.T) {
 		t.Fatal("Kind strings wrong")
 	}
 }
+
+// TestPushBatchMatchesSequentialPush drives two buffers through the same
+// record stream — one via PushBatch, one via per-record Push — across
+// fills, drains, wrap-around, and overflow, and requires identical ring
+// contents and pushed/dropped counters throughout.
+func TestPushBatchMatchesSequentialPush(t *testing.T) {
+	a, _ := NewBuffer(7)
+	b, _ := NewBuffer(7)
+	next := vm.PageID(0)
+	gen := func(n int) []Record {
+		recs := make([]Record, n)
+		for i := range recs {
+			recs[i] = Record{Page: next, Kind: Kind(int(next) % 3)}
+			next++
+		}
+		return recs
+	}
+	check := func(step string) {
+		t.Helper()
+		if a.Len() != b.Len() || a.Pushed() != b.Pushed() || a.Dropped() != b.Dropped() {
+			t.Fatalf("%s: batch len/pushed/dropped = %d/%d/%d, sequential = %d/%d/%d",
+				step, a.Len(), a.Pushed(), a.Dropped(), b.Len(), b.Pushed(), b.Dropped())
+		}
+	}
+	drainBoth := func(n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			ra, oka := a.Pop()
+			rb, okb := b.Pop()
+			if oka != okb || ra != rb {
+				t.Fatalf("drain %d: batch (%v, %v) != sequential (%v, %v)", i, ra, oka, rb, okb)
+			}
+		}
+	}
+	// Batch sizes chosen to hit: partial fill, exact fill, overflow of a
+	// full buffer, overflow of a partly full wrapped buffer, empty batch.
+	for _, n := range []int{3, 4, 9, 0, 2, 5} {
+		recs := gen(n)
+		accepted := a.PushBatch(recs)
+		wantAccepted := 0
+		for _, r := range recs {
+			if b.Push(r) {
+				wantAccepted++
+			}
+		}
+		if accepted != wantAccepted {
+			t.Fatalf("PushBatch(%d recs) accepted %d, sequential accepted %d", n, accepted, wantAccepted)
+		}
+		check("after push")
+		drainBoth(2)
+		check("after drain")
+	}
+	drainBoth(a.Len() + 1) // includes the empty-pop case
+	check("after full drain")
+}

@@ -78,6 +78,46 @@ func (r *Rand) Perm(n int) []int {
 // Poisson draws from a Poisson distribution with mean lambda, using
 // Knuth's method for small lambda and a normal approximation for large.
 func (r *Rand) Poisson(lambda float64) int {
+	return r.PoissonCached(NewPoissonPrep(lambda))
+}
+
+// PoissonPrep caches the λ-dependent constants of a Poisson draw —
+// exp(-λ) for the Knuth path, sqrt(λ) for the normal approximation — so
+// hot loops that sample the same mean repeatedly (the Memory-Mode
+// Monte-Carlo occupancy model draws zones × MCSamples times per refresh)
+// don't pay a transcendental per draw. NewPoissonPrep(λ) followed by
+// Rand.PoissonCached is bit-compatible with Rand.Poisson(λ): the cached
+// constants are the exact float64s Poisson computed inline, and the RNG
+// draw sequence is unchanged, so seeded results are identical.
+type PoissonPrep struct {
+	// Lambda is the distribution mean.
+	Lambda float64
+	// ExpNegLambda is exp(-Lambda); meaningful only for 0 < Lambda ≤ 30
+	// (the Knuth path).
+	ExpNegLambda float64
+	// SqrtLambda is sqrt(Lambda); meaningful only for Lambda > 30 (the
+	// normal-approximation path).
+	SqrtLambda float64
+}
+
+// NewPoissonPrep precomputes the draw constants for mean lambda.
+func NewPoissonPrep(lambda float64) PoissonPrep {
+	p := PoissonPrep{Lambda: lambda}
+	switch {
+	case lambda <= 0:
+	case lambda > 30:
+		p.SqrtLambda = math.Sqrt(lambda)
+	default:
+		p.ExpNegLambda = math.Exp(-lambda)
+	}
+	return p
+}
+
+// PoissonCached draws from a Poisson distribution whose constants were
+// precomputed by NewPoissonPrep. The draw sequence and arithmetic match
+// Poisson(prep.Lambda) bit for bit.
+func (r *Rand) PoissonCached(prep PoissonPrep) int {
+	lambda := prep.Lambda
 	if lambda <= 0 {
 		return 0
 	}
@@ -88,13 +128,13 @@ func (r *Rand) Poisson(lambda float64) int {
 			u1 = 1e-12
 		}
 		z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
-		n := int(lambda + z*math.Sqrt(lambda) + 0.5)
+		n := int(lambda + z*prep.SqrtLambda + 0.5)
 		if n < 0 {
 			return 0
 		}
 		return n
 	}
-	l := math.Exp(-lambda)
+	l := prep.ExpNegLambda
 	k, p := 0, 1.0
 	for {
 		p *= r.Float64()

@@ -269,3 +269,72 @@ func TestUnits(t *testing.T) {
 		t.Fatal("GBps round trip failed")
 	}
 }
+
+// poissonInline replicates the pre-memoization Poisson draw, with the
+// transcendentals computed inline on every call. PoissonCached must
+// reproduce it bit for bit: same results, same RNG consumption.
+func poissonInline(r *Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 30 {
+		u1, u2 := r.Float64(), r.Float64()
+		if u1 < 1e-12 {
+			u1 = 1e-12
+		}
+		z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+		n := int(lambda + z*math.Sqrt(lambda) + 0.5)
+		if n < 0 {
+			return 0
+		}
+		return n
+	}
+	l := math.Exp(-lambda)
+	k, p := 0, 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+func TestPoissonPrepConstantsExact(t *testing.T) {
+	for _, lambda := range []float64{1e-9, 0.001, 0.1, 0.5, 1, 2.5, 7, 29.999, 30} {
+		prep := NewPoissonPrep(lambda)
+		if want := math.Exp(-lambda); prep.ExpNegLambda != want {
+			t.Fatalf("λ=%v: ExpNegLambda = %x, want %x (math.Exp)",
+				lambda, math.Float64bits(prep.ExpNegLambda), math.Float64bits(want))
+		}
+	}
+	for _, lambda := range []float64{30.001, 100, 1e6} {
+		prep := NewPoissonPrep(lambda)
+		if want := math.Sqrt(lambda); prep.SqrtLambda != want {
+			t.Fatalf("λ=%v: SqrtLambda = %x, want %x (math.Sqrt)",
+				lambda, math.Float64bits(prep.SqrtLambda), math.Float64bits(want))
+		}
+	}
+}
+
+func TestPoissonCachedBitIdentical(t *testing.T) {
+	lambdas := []float64{-3, 0, 1e-6, 0.25, 1, 3.75, 29.5, 30, 30.5, 500}
+	for _, lambda := range lambdas {
+		prep := NewPoissonPrep(lambda)
+		ra, rb, rc := NewRand(42), NewRand(42), NewRand(42)
+		for i := 0; i < 5000; i++ {
+			want := poissonInline(ra, lambda)
+			if got := rb.PoissonCached(prep); got != want {
+				t.Fatalf("λ=%v draw %d: PoissonCached = %d, want %d", lambda, i, got, want)
+			}
+			if got := rc.Poisson(lambda); got != want {
+				t.Fatalf("λ=%v draw %d: Poisson = %d, want %d", lambda, i, got, want)
+			}
+		}
+		// Identical results could still hide divergent RNG consumption;
+		// the streams must be in lock-step afterwards.
+		if a, b, c := ra.Uint64(), rb.Uint64(), rc.Uint64(); a != b || a != c {
+			t.Fatalf("λ=%v: RNG states diverged after draws (%x, %x, %x)", lambda, a, b, c)
+		}
+	}
+}
