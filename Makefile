@@ -4,7 +4,7 @@
 GO ?= go
 BENCH_OUT ?= BENCH_pr5.json
 
-.PHONY: check vet build test race bench
+.PHONY: check vet build test race bench soak
 
 check: vet build race
 
@@ -26,3 +26,12 @@ race:
 # seeded-determinism checks as JSON.
 bench:
 	$(GO) run ./cmd/hemem-bench -perf -out $(BENCH_OUT)
+
+# Bounded chaos soak: the seeded chaos scheduler drives compound fault
+# episodes, correctable-error storms, and CXL offline/online cycles
+# through a GUPS run under the race detector, with the invariant
+# auditor checking conservation every quantum. CHAOS_LOG names the
+# replayable episode-log artifact.
+CHAOS_LOG ?= chaos-episodes.log
+soak:
+	CHAOS_LOG=$(CHAOS_LOG) $(GO) test -race -run Chaos -timeout 10m -v ./internal/bench/

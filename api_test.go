@@ -75,8 +75,8 @@ func TestPublicGraph(t *testing.T) {
 }
 
 func TestPublicExperiments(t *testing.T) {
-	if len(hemem.Experiments()) != 21 {
-		t.Fatalf("experiments = %d, want 21", len(hemem.Experiments()))
+	if len(hemem.Experiments()) != 22 {
+		t.Fatalf("experiments = %d, want 22", len(hemem.Experiments()))
 	}
 	var buf bytes.Buffer
 	if !hemem.RunExperiment("tab1", &buf, hemem.ExperimentOpts{}) {

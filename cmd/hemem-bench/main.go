@@ -14,6 +14,9 @@
 //	                               clock, sim-ns/sec, allocations, sweep
 //	                               parallel speedup) and verify seeded
 //	                               determinism
+//	hemem-bench -exp chaos -audit  run with the runtime invariant
+//	                               auditor checking conservation
+//	                               invariants every quantum
 //	hemem-bench -exp fig5 -cpuprofile cpu.pprof -memprofile mem.pprof
 //	                               write pprof profiles of the run
 package main
@@ -27,6 +30,7 @@ import (
 	"time"
 
 	"github.com/tieredmem/hemem/internal/bench"
+	"github.com/tieredmem/hemem/internal/machine"
 )
 
 func main() {
@@ -37,12 +41,17 @@ func main() {
 		jobs       = flag.Int("jobs", 0, "sweep worker pool size (0 = GOMAXPROCS); any value produces identical output")
 		verbose    = flag.Bool("v", false, "narrate per-cell completion to stderr")
 		list       = flag.Bool("list", false, "list experiments")
+		audit      = flag.Bool("audit", false, "run the invariant auditor every quantum on every machine (panics with a diagnostic dump on a violation)")
 		perf       = flag.Bool("perf", false, "run the simulator performance harness")
 		out        = flag.String("out", "", "with -perf: write the JSON report to this file (default stdout)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *audit {
+		machine.SetAuditAll(true)
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)

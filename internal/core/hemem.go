@@ -170,6 +170,13 @@ type Stats struct {
 	EmergencyPromotions int64
 	// PeriodRaises counts adaptive sample-period increases.
 	PeriodRaises int64
+	// TierOfflines and TierOnlines count whole-tier lifecycle events the
+	// manager handled; Evacuations counts pages drained off offline
+	// tiers (also included in Promotions/Demotions/SwapOuts by
+	// direction).
+	TierOfflines int64
+	TierOnlines  int64
+	Evacuations  int64
 }
 
 // HeMem is the manager: it implements machine.Manager, consumes PEBS
@@ -225,6 +232,14 @@ type HeMem struct {
 	// diskCursor is indexed by the machine's rate-set order (the same
 	// index swapPolicy iterates), replacing a map keyed by *vm.PageSet.
 	diskCursor []int
+
+	// offline marks chain positions taken out of service by a tier
+	// offline event (see degrade.go); numOffline is the count of set
+	// entries and act the reusable online-position scratch the policy
+	// loops walk.
+	offline    []bool
+	numOffline int
+	act        []int
 
 	// piSlabs bulk-allocates PageInfo in chunks: tracking a 512 GB
 	// region means ~260k PageInfos, and allocating each individually is
@@ -382,6 +397,8 @@ func (h *HeMem) initTiers() {
 	h.hot = make([]List, len(h.chain))
 	h.cold = make([]List, len(h.chain))
 	h.freeTarget = make([]int64, len(h.chain))
+	h.offline = make([]bool, len(h.chain))
+	h.numOffline = 0
 	for i, t := range h.chain {
 		name := strings.ToLower(t.String())
 		h.hot[i] = List{Name: name + "-hot", hot: true}
@@ -556,21 +573,25 @@ func (h *HeMem) Used(t vm.Tier) int64 {
 // room (§3.3). The slowest migratable tier accepts the page
 // unconditionally unless swap is enabled, in which case overflow lands on
 // the swap tier.
+// Offline tiers are skipped everywhere (admission control: a tier being
+// drained must not accept fresh pages); with nothing offline the walks
+// are identical to the historical fixed-chain ones.
 func (h *HeMem) PageIn(p *vm.Page) {
 	ps := h.m.Cfg.PageSize
-	fastest := h.chain[0]
+	fastest := h.chain[h.firstOnline()]
 	if regionFlag(h.pinned, p.Region.ID) {
 		h.addUsed(fastest, ps)
 		p.SetTier(fastest)
 		return
 	}
-	last := len(h.chain) - 1
+	last := h.lastOnline()
 	if p.Region.Size() < h.cfg.LargeAllocThreshold && !regionFlag(h.managed, p.Region.ID) {
 		// Kernel-managed small allocation: keep in fast memory if at
-		// all possible; overflow walks the chain and the slowest tier
-		// takes the page unconditionally (the kernel path never swaps).
+		// all possible; overflow walks the chain and the slowest online
+		// tier takes the page unconditionally (the kernel path never
+		// swaps).
 		for i := 0; i < last; i++ {
-			if h.used[h.chain[i]]+ps <= h.caps[i] {
+			if !h.offlineAt(i) && h.used[h.chain[i]]+ps <= h.caps[i] {
 				h.addUsed(h.chain[i], ps)
 				p.SetTier(h.chain[i])
 				return
@@ -593,7 +614,7 @@ func (h *HeMem) PageIn(p *vm.Page) {
 		start = r
 	}
 	for i := start; i < last; i++ {
-		if h.used[h.chain[i]]+ps <= h.caps[i] {
+		if !h.offlineAt(i) && h.used[h.chain[i]]+ps <= h.caps[i] {
 			h.addUsed(h.chain[i], ps)
 			p.SetTier(h.chain[i])
 			h.cold[i].PushBack(pi)
@@ -765,12 +786,13 @@ func (h *HeMem) classify(pi *PageInfo) {
 // link — write-heavy first — exchanging against cold pages when the
 // faster tier is full. If a tier has neither free space nor cold pages,
 // its hot set exceeds capacity and migration across that link stops.
+// The loops walk the online chain positions (activePositions), so an
+// offline tier drops out of every link and its neighbours pair up
+// directly; with nothing offline the walk is the identity 0..last and
+// the policy behaves exactly as the fixed-neighbour version did.
 func (h *HeMem) policy() {
 	if h.cfg.AdaptiveSampling {
 		h.adaptSampling()
-	}
-	if h.cfg.NoMigration {
-		return
 	}
 	ps := h.m.Cfg.PageSize
 	budget := int64(h.cfg.MigRateCap * float64(h.cfg.PolicyInterval))
@@ -778,13 +800,24 @@ func (h *HeMem) policy() {
 	if backlog := int64(h.m.Migrator.QueuedBytes()); backlog >= budget {
 		return
 	}
-	last := len(h.chain) - 1
+	// Offline-tier evacuation runs first and even under the NoMigration
+	// ablation: an offline tier's pages are unreachable, so draining
+	// them is correctness, not placement optimization.
+	if h.numOffline > 0 {
+		budget = h.evacuate(budget)
+	}
+	if h.cfg.NoMigration {
+		return
+	}
+	act := h.activePositions()
+	lastA := len(act) - 1
 
 	// Watermark: force eviction when a tier's free space dips below its
 	// target so new allocations keep landing in fast memory. Fastest
-	// first; the slowest migratable tier has no slower neighbor to evict
-	// to (the swap layer below handles its headroom).
-	for i := 0; i < last; i++ {
+	// first; the slowest online migratable tier has no slower neighbor
+	// to evict to (the swap layer below handles its headroom).
+	for ai := 0; ai < lastA; ai++ {
+		i, down := act[ai], act[ai+1]
 		for h.free(i) < h.freeTarget[i] && budget > 0 {
 			victim := h.cold[i].PopFront()
 			if victim == nil {
@@ -796,7 +829,7 @@ func (h *HeMem) policy() {
 				}
 				h.hot[i].Remove(victim)
 			}
-			h.demote(victim, h.chain[i+1])
+			h.demote(victim, h.chain[down])
 			budget -= ps
 		}
 	}
@@ -805,20 +838,21 @@ func (h *HeMem) policy() {
 		// Swap work gets at most half the tick budget so promotion is
 		// never starved by disk churn.
 		half := budget / 2
-		spent := half - h.swapPolicy(half)
+		spent := half - h.swapPolicy(half, act[lastA])
 		budget -= spent
 	}
 
 	// Promote hot pages up each link while faster slots exist, fastest
 	// link first.
-	for i := 0; i < last; i++ {
+	for ai := 0; ai < lastA; ai++ {
+		i, down := act[ai], act[ai+1]
 		for budget > 0 {
-			cand := h.hot[i+1].Front()
+			cand := h.hot[down].Front()
 			if cand == nil {
 				break
 			}
 			if h.free(i) >= h.freeTarget[i]+ps {
-				h.hot[i+1].Remove(cand)
+				h.hot[down].Remove(cand)
 				h.promote(cand, h.chain[i])
 				budget -= ps
 				continue
@@ -828,8 +862,8 @@ func (h *HeMem) policy() {
 				// Hot set ≥ tier capacity: stop migrating (§3.3).
 				break
 			}
-			h.hot[i+1].Remove(cand)
-			h.demote(victim, h.chain[i+1])
+			h.hot[down].Remove(cand)
+			h.demote(victim, h.chain[down])
 			h.promote(cand, h.chain[i])
 			budget -= 2 * ps
 		}
@@ -879,13 +913,13 @@ func (h *HeMem) free(i int) int64 { return h.caps[i] - h.used[h.chain[i]] }
 func (h *HeMem) dramFree() int64 { return h.free(0) }
 
 // swapPolicy runs the optional swap-tier policy (§3.4) between the
-// slowest migratable tier and the swap device: swap in any swapped-out
-// pages that traffic has reached (their accesses fault synchronously, so
-// getting them off disk dominates everything else), and keep headroom on
-// the slowest migratable tier by swapping its coldest pages out.
-func (h *HeMem) swapPolicy(budget int64) int64 {
+// slowest online migratable tier (chain position last, passed by the
+// policy tick) and the swap device: swap in any swapped-out pages that
+// traffic has reached (their accesses fault synchronously, so getting
+// them off disk dominates everything else), and keep headroom on that
+// tier by swapping its coldest pages out.
+func (h *HeMem) swapPolicy(budget int64, last int) int64 {
 	ps := h.m.Cfg.PageSize
-	last := len(h.chain) - 1
 	slowest := h.chain[last]
 	// Swap-in: walk sets with live traffic and swapped-out pages.
 	for si, set := range h.m.RateSets() {
@@ -1029,7 +1063,16 @@ func (h *HeMem) OnNVMUncorrectable(p *vm.Page) {
 	if r <= 0 {
 		return
 	}
-	dst := h.chain[r-1]
+	// Walk to the nearest online faster tier (the direct neighbour when
+	// nothing is offline).
+	up := r - 1
+	for up >= 0 && h.offlineAt(up) {
+		up--
+	}
+	if up < 0 {
+		return
+	}
+	dst := h.chain[up]
 	if pi.list != nil {
 		pi.list.Remove(pi)
 	}

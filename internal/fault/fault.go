@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"github.com/tieredmem/hemem/internal/sim"
+	"github.com/tieredmem/hemem/internal/vm"
 )
 
 // Config selects the faults to inject and their rates. The zero value
@@ -76,6 +77,11 @@ type Config struct {
 	PEBSStormMTBF     int64
 	PEBSStormDuration int64
 	PEBSStormFactor   float64
+
+	// Chaos configures the chaos scheduler: compound episodes, whole-tier
+	// offline/online events, and correctable-error storms (see
+	// ChaosConfig). The zero value disables it.
+	Chaos ChaosConfig
 }
 
 // Enabled reports whether any fault is configured.
@@ -85,7 +91,8 @@ func (c Config) Enabled() bool {
 		c.DMADegradedMTBF > 0 ||
 		c.NVMUncorrectableMTBF > 0 ||
 		c.NVMThermalMTBF > 0 ||
-		c.PEBSStormMTBF > 0
+		c.PEBSStormMTBF > 0 ||
+		c.Chaos.Enabled()
 }
 
 // Validate reports the first invalid parameter, or nil. The zero Config
@@ -131,7 +138,7 @@ func (c Config) Validate() error {
 	if c.PEBSStormFactor < 0 {
 		return fmt.Errorf("fault: negative PEBSStormFactor %v", c.PEBSStormFactor)
 	}
-	return nil
+	return c.Chaos.validate()
 }
 
 // withDefaults fills unset secondary parameters (retry policy, episode
@@ -171,6 +178,7 @@ func (c Config) withDefaults() Config {
 	if c.MigrationAbortProb > 1 {
 		c.MigrationAbortProb = 1
 	}
+	c.Chaos = c.Chaos.withDefaults()
 	return c
 }
 
@@ -186,6 +194,37 @@ type Events struct {
 	DMADegradedStart bool
 	NVMThermalStart  bool
 	PEBSStormStart   bool
+
+	// CompoundStart / CEStormStart mark chaos-scheduler episode onsets.
+	CompoundStart bool
+	CEStormStart  bool
+	// CorrectableErrors is how many correctable media errors strike this
+	// quantum (nonzero only inside a CE storm).
+	CorrectableErrors int
+	// TierOffline is the tier the chaos scheduler takes down this quantum
+	// (TierNone if none; at most one per quantum). TierOnline marks the
+	// tiers whose offline episodes end this quantum. Fixed-size so Events
+	// stays comparable.
+	TierOffline vm.Tier
+	TierOnline  [vm.MaxTiers]bool
+	// Episodes announces episode onsets for the machine's episode log
+	// with their scheduled end times; the first NumEpisodes entries are
+	// valid.
+	Episodes    [maxEpisodeStarts]EpisodeStart
+	NumEpisodes int
+}
+
+// maxEpisodeStarts bounds episode onsets per quantum: one per episode
+// class (compound, DMA-degraded, thermal, storm, CE storm, tier-offline).
+const maxEpisodeStarts = 6
+
+// addEpisode records an episode onset in the fixed-size announcement
+// list.
+func (ev *Events) addEpisode(s EpisodeStart) {
+	if ev.NumEpisodes < maxEpisodeStarts {
+		ev.Episodes[ev.NumEpisodes] = s
+		ev.NumEpisodes++
+	}
 }
 
 // Injector draws fault decisions from a dedicated deterministic RNG and
@@ -200,6 +239,13 @@ type Injector struct {
 	dmaDegradedUntil int64
 	thermalUntil     int64
 	stormUntil       int64
+
+	// chaos-scheduler state
+	compoundUntil int64
+	ceUntil       int64
+	offlineUntil  [vm.MaxTiers]int64
+	tierScratch   []vm.Tier
+	cePrep        sim.PoissonPrep
 
 	dmaDerate  float64
 	nvmDerate  float64
@@ -219,6 +265,16 @@ func New(cfg Config, rng *sim.Rand) *Injector {
 		nvmDerate:  1,
 		loadFactor: 1,
 	}
+}
+
+// prepCE lazily precomputes the Poisson constants for CE arrivals at the
+// machine's quantum dt (the quantum is fixed per machine, so one prep
+// serves the whole run).
+func (in *Injector) prepCE(dt int64) sim.PoissonPrep {
+	if in.cePrep.Lambda == 0 && in.cfg.Chaos.CEInterval > 0 {
+		in.cePrep = sim.NewPoissonPrep(float64(dt) / float64(in.cfg.Chaos.CEInterval))
+	}
+	return in.cePrep
 }
 
 // Disabled returns an injector that injects nothing.
@@ -252,14 +308,20 @@ func (in *Injector) Advance(now, dt int64) Events {
 	if now >= in.dmaDegradedUntil && fire(in.cfg.DMADegradedMTBF) {
 		in.dmaDegradedUntil = now + in.cfg.DMADegradedDuration
 		ev.DMADegradedStart = true
+		ev.addEpisode(EpisodeStart{Kind: EpDMADegraded, Tier: vm.TierNone, Until: in.dmaDegradedUntil})
 	}
 	if now >= in.thermalUntil && fire(in.cfg.NVMThermalMTBF) {
 		in.thermalUntil = now + in.cfg.NVMThermalDuration
 		ev.NVMThermalStart = true
+		ev.addEpisode(EpisodeStart{Kind: EpNVMThermal, Tier: vm.TierNone, Until: in.thermalUntil})
 	}
 	if now >= in.stormUntil && fire(in.cfg.PEBSStormMTBF) {
 		in.stormUntil = now + in.cfg.PEBSStormDuration
 		ev.PEBSStormStart = true
+		ev.addEpisode(EpisodeStart{Kind: EpPEBSStorm, Tier: vm.TierNone, Until: in.stormUntil})
+	}
+	if in.cfg.Chaos.Enabled() {
+		in.advanceChaos(now, dt, &ev)
 	}
 	in.dmaDerate, in.nvmDerate, in.loadFactor = 1, 1, 1
 	if now < in.dmaDegradedUntil {

@@ -1,0 +1,273 @@
+// Runtime invariant auditor: opt-in conservation checks run once per
+// quantum (Config.Audit, the hemem-bench -audit flag, or SetAuditAll in
+// tests). The auditor is a pure observer — it draws no randomness and
+// mutates nothing, so an audited run is bit-identical to an unaudited
+// one; it exists to turn silent accounting drift (a leaked page charge,
+// a double-resident page, a migration-queue ghost) into an immediate,
+// diagnosable failure instead of a subtly wrong experiment.
+package machine
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/tieredmem/hemem/internal/sim"
+	"github.com/tieredmem/hemem/internal/vm"
+)
+
+// auditAll force-enables the auditor on every machine built while set,
+// regardless of Config.Audit. Package tests flip it so the whole
+// existing suite doubles as an invariant soak.
+var auditAll bool
+
+// SetAuditAll toggles force-auditing of every subsequently built
+// machine and returns the previous value. Intended for tests:
+//
+//	defer machine.SetAuditAll(machine.SetAuditAll(true))
+func SetAuditAll(v bool) bool {
+	prev := auditAll
+	auditAll = v
+	return prev
+}
+
+// UsedReporter is implemented by managers that account committed bytes
+// per tier (HeMem's used[]). The auditor cross-checks the report against
+// the bytes actually resident in vm, adjusted for in-flight migrations
+// (which managers charge to the destination at enqueue time).
+type UsedReporter interface {
+	Used(t vm.Tier) int64
+}
+
+// AuditViolation is one failed invariant.
+type AuditViolation struct {
+	// Rule names the invariant class (e.g. "region-counts", "used-conservation").
+	Rule string
+	// Detail describes the specific failure with its numbers.
+	Detail string
+}
+
+func (v AuditViolation) String() string { return v.Rule + ": " + v.Detail }
+
+// Audit verifies the machine's conservation invariants and returns every
+// violation found (nil when all hold):
+//
+//   - region-counts: each region's per-tier occupancy counters equal a
+//     recount of its pages' Tier fields (no page resident in two tiers,
+//     no lost pages).
+//   - set-counts: each rate-tracked page set's per-tier counters equal a
+//     recount of its members.
+//   - migrating-queue: the Migrating flag and the migration queue are a
+//     bijection — every flagged page appears exactly once in the queue,
+//     every queued request's page is flagged, and no request targets the
+//     page's current tier.
+//   - used-conservation: a UsedReporter manager's per-tier committed
+//     bytes equal the resident bytes per tier, adjusted by in-flight
+//     migrations (charged to the destination at enqueue).
+//   - edge-counters: the migration graph's per-edge completion counters
+//     sum to the total completed pages, and promotions + demotions
+//     equal that total.
+//   - evac-done: an offline tier whose evacuation is recorded complete
+//     has no resident pages and no inbound queued migration.
+//
+// Audit never mutates machine state; Step panics with auditDump on the
+// first non-empty return.
+func (m *Machine) Audit() []AuditViolation {
+	var vs []AuditViolation
+
+	// Region occupancy recount, and the resident-bytes tally reused by
+	// the used-conservation check below.
+	var resident [vm.MaxTiers]int64
+	var recount [vm.MaxTiers]int
+	for _, r := range m.AS.Regions {
+		for i := range recount {
+			recount[i] = 0
+		}
+		for _, p := range r.Pages {
+			if int(p.Tier) < 0 || int(p.Tier) >= vm.MaxTiers {
+				vs = append(vs, AuditViolation{"region-counts",
+					fmt.Sprintf("%s: page %d has out-of-range tier %d", r.Name, p.ID, p.Tier)})
+				continue
+			}
+			recount[p.Tier]++
+			resident[p.Tier] += r.PageSize
+		}
+		for t := vm.Tier(0); int(t) < vm.NumTiers() && int(t) < vm.MaxTiers; t++ {
+			if got := r.Count(t); got != recount[t] {
+				vs = append(vs, AuditViolation{"region-counts",
+					fmt.Sprintf("%s: counter says %d pages in %v, recount says %d", r.Name, got, t, recount[t])})
+			}
+		}
+	}
+
+	// Rate-tracked page sets (the workloads' traffic sets).
+	for _, s := range m.rateOrder {
+		for i := range recount {
+			recount[i] = 0
+		}
+		for _, p := range s.Pages() {
+			if int(p.Tier) >= 0 && int(p.Tier) < vm.MaxTiers {
+				recount[p.Tier]++
+			}
+		}
+		for t := vm.Tier(0); int(t) < vm.NumTiers() && int(t) < vm.MaxTiers; t++ {
+			if got := s.Count(t); got != recount[t] {
+				vs = append(vs, AuditViolation{"set-counts",
+					fmt.Sprintf("set %s: counter says %d pages in %v, recount says %d", s.Name, got, t, recount[t])})
+			}
+		}
+	}
+
+	// Migrating flag ↔ queue bijection.
+	queued := make(map[*vm.Page]int, len(m.Migrator.queue))
+	for _, req := range m.Migrator.queue {
+		queued[req.page]++
+		if !req.page.Migrating {
+			vs = append(vs, AuditViolation{"migrating-queue",
+				fmt.Sprintf("page %d queued %v→%v without Migrating flag", req.page.ID, req.page.Tier, req.dst)})
+		}
+		if req.page.Tier == req.dst {
+			vs = append(vs, AuditViolation{"migrating-queue",
+				fmt.Sprintf("page %d queued to its current tier %v", req.page.ID, req.dst)})
+		}
+	}
+	for p, n := range queued {
+		if n > 1 {
+			vs = append(vs, AuditViolation{"migrating-queue",
+				fmt.Sprintf("page %d queued %d times", p.ID, n)})
+		}
+	}
+	for _, r := range m.AS.Regions {
+		for _, p := range r.Pages {
+			if p.Migrating && queued[p] == 0 {
+				vs = append(vs, AuditViolation{"migrating-queue",
+					fmt.Sprintf("page %d has Migrating flag but no queue entry", p.ID)})
+			}
+		}
+	}
+
+	// Manager committed-bytes conservation. In-flight migrations are
+	// charged to the destination at enqueue, so the expected figure
+	// moves each queued page's bytes from its (still-resident) source
+	// to its destination before comparing.
+	if ur, ok := m.Mgr.(UsedReporter); ok {
+		expected := resident
+		ps := m.Cfg.PageSize
+		for _, req := range m.Migrator.queue {
+			if int(req.page.Tier) > 0 && int(req.page.Tier) < vm.MaxTiers {
+				expected[req.page.Tier] -= ps
+			}
+			if int(req.dst) > 0 && int(req.dst) < vm.MaxTiers {
+				expected[req.dst] += ps
+			}
+		}
+		for _, td := range m.Cfg.Tiers {
+			if got := ur.Used(td.ID); got != expected[td.ID] {
+				vs = append(vs, AuditViolation{"used-conservation",
+					fmt.Sprintf("%v: manager reports %d bytes used, resident+in-flight is %d (Δ %+d pages)",
+						td.ID, got, expected[td.ID], (got-expected[td.ID])/ps)})
+			}
+		}
+	}
+
+	// Migration-graph edge counters.
+	st := m.Migrator.Stats()
+	var edgeSum int64
+	for s := 0; s < vm.MaxTiers; s++ {
+		for d := 0; d < vm.MaxTiers; d++ {
+			edgeSum += m.Migrator.edges[s][d]
+		}
+	}
+	if edgeSum != st.Pages {
+		vs = append(vs, AuditViolation{"edge-counters",
+			fmt.Sprintf("per-edge moves sum to %d, completed pages %d", edgeSum, st.Pages)})
+	}
+	if st.Promotions+st.Demotions != st.Pages {
+		vs = append(vs, AuditViolation{"edge-counters",
+			fmt.Sprintf("promotions %d + demotions %d ≠ pages %d", st.Promotions, st.Demotions, st.Pages)})
+	}
+
+	// Completed evacuations stay drained while the tier is offline.
+	for _, td := range m.Cfg.Tiers {
+		t := td.ID
+		if !m.offline[t] || !m.evacDone[t] {
+			continue
+		}
+		res := 0
+		for _, r := range m.AS.Regions {
+			res += r.Count(t)
+		}
+		if res != 0 {
+			vs = append(vs, AuditViolation{"evac-done",
+				fmt.Sprintf("%v evacuated but %d pages resident", t, res)})
+		}
+		for _, req := range m.Migrator.queue {
+			if req.dst == t {
+				vs = append(vs, AuditViolation{"evac-done",
+					fmt.Sprintf("%v evacuated but page %d queued into it", t, req.page.ID)})
+				break
+			}
+		}
+	}
+
+	return vs
+}
+
+// auditUnmap verifies that tearing down region r left no residue: every
+// page unplaced, no lingering write protection or queued migration, no
+// set membership. Called by Machine.Unmap after AddressSpace.Unmap.
+func (m *Machine) auditUnmap(r *vm.Region) []AuditViolation {
+	var vs []AuditViolation
+	for _, p := range r.Pages {
+		if p.Tier != vm.TierNone {
+			vs = append(vs, AuditViolation{"unmap-residue",
+				fmt.Sprintf("%s: page %d still resident in %v after unmap", r.Name, p.ID, p.Tier)})
+		}
+		if len(p.InSets()) != 0 {
+			vs = append(vs, AuditViolation{"unmap-residue",
+				fmt.Sprintf("%s: page %d still in %d sets after unmap", r.Name, p.ID, len(p.InSets()))})
+		}
+		if p.Migrating {
+			vs = append(vs, AuditViolation{"unmap-residue",
+				fmt.Sprintf("%s: page %d still write-protected (migrating) after unmap", r.Name, p.ID)})
+		}
+	}
+	for _, req := range m.Migrator.queue {
+		if req.page.Region == r {
+			vs = append(vs, AuditViolation{"unmap-residue",
+				fmt.Sprintf("%s: page %d still queued for migration after unmap", r.Name, req.page.ID)})
+		}
+	}
+	return vs
+}
+
+// auditDump renders the violations with a machine-state snapshot —
+// clock, tier occupancy, migration queue, fault counters — so a failed
+// soak run is diagnosable from the panic message alone.
+func (m *Machine) auditDump(vs []AuditViolation) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "machine: audit failed at t=%.6fs (%d audits run): %d violation(s)\n",
+		float64(m.Clock.Now())/float64(sim.Second), m.auditsRun, len(vs))
+	for _, v := range vs {
+		fmt.Fprintf(&b, "  %s\n", v)
+	}
+	b.WriteString("state:\n")
+	for _, td := range m.Cfg.Tiers {
+		res := 0
+		for _, r := range m.AS.Regions {
+			res += r.Count(td.ID)
+		}
+		status := "online"
+		if m.offline[td.ID] {
+			status = "OFFLINE"
+		}
+		fmt.Fprintf(&b, "  %-6v %s: %d pages resident, cap %d", td.ID, status, res, td.Capacity)
+		if ur, ok := m.Mgr.(UsedReporter); ok {
+			fmt.Fprintf(&b, ", mgr used %d", ur.Used(td.ID))
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "  migration queue: %d pages, stats %+v\n", m.Migrator.QueueLen(), m.Migrator.Stats())
+	fmt.Fprintf(&b, "  faults: %+v\n", m.faultStats)
+	fmt.Fprintf(&b, "  episodes: %d logged\n", len(m.episodes))
+	return b.String()
+}

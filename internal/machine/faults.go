@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"github.com/tieredmem/hemem/internal/fault"
 	"github.com/tieredmem/hemem/internal/vm"
 )
 
@@ -45,6 +46,33 @@ func (m *Machine) applyFaults(now, dt int64) {
 	if ev.PEBSStormStart {
 		m.faultStats.PEBSStorms++
 	}
+	if ev.CompoundStart {
+		m.faultStats.CompoundEpisodes++
+	}
+	if ev.CEStormStart {
+		m.faultStats.CEStorms++
+	}
+	// Episode log. Tier-offline episodes are logged by offlineTier, which
+	// also tracks their evacuation; everything else is recorded here.
+	for i := 0; i < ev.NumEpisodes; i++ {
+		ep := ev.Episodes[i]
+		if ep.Kind == fault.EpTierOffline {
+			continue
+		}
+		m.episodes = append(m.episodes, fault.Episode{
+			Kind: ep.Kind, Tier: ep.Tier, Start: now, End: ep.Until,
+		})
+	}
+	// Tier lifecycle: onlining first (the injector emits recoveries
+	// before fresh offline draws), then the quantum's offline event.
+	for t := vm.Tier(1); int(t) < vm.MaxTiers; t++ {
+		if ev.TierOnline[t] {
+			m.OnlineTier(t)
+		}
+	}
+	if ev.TierOffline != vm.TierNone {
+		m.offlineTier(ev.TierOffline, now+inj.Config().Chaos.TierOfflineDuration)
+	}
 	for i := 0; i < ev.DMAChannelFails; i++ {
 		live, fellBack := m.Migrator.FailDMAChannel()
 		if live < 0 {
@@ -62,6 +90,9 @@ func (m *Machine) applyFaults(now, dt int64) {
 	for i := 0; i < ev.NVMUncorrectable; i++ {
 		m.injectUE()
 	}
+	for i := 0; i < ev.CorrectableErrors; i++ {
+		m.injectCE()
+	}
 }
 
 // ueTier reports whether tier t is marked UEVictim in the tier table.
@@ -74,15 +105,13 @@ func (m *Machine) ueTier(t vm.TierID) bool {
 	return false
 }
 
-// injectUE strikes a uniformly random page resident on a UE-prone tier
-// with an uncorrectable media error: the frame is retired and the page
-// remapped (keeping its tier and contents — the error was caught on
-// scrub, not on a demand read), and a FaultHandler manager is asked to
-// react. Victim selection is uniform over the combined population of
-// every UEVictim tier, iterated in region order then table order, so a
+// pickUEVictim selects a uniformly random page resident on a UE-prone
+// tier, drawing one index from the injector's strike stream. Victim
+// selection is uniform over the combined population of every UEVictim
+// tier, iterated in region order then table order, so a
 // single-victim-tier machine draws exactly the sequence the NVM-only
-// implementation did.
-func (m *Machine) injectUE() {
+// implementation did. Returns nil when no candidate page exists.
+func (m *Machine) pickUEVictim() *vm.Page {
 	total := 0
 	for _, r := range m.AS.Regions {
 		for _, td := range m.Cfg.Tiers {
@@ -92,11 +121,9 @@ func (m *Machine) injectUE() {
 		}
 	}
 	if total == 0 {
-		return
+		return nil
 	}
 	k := m.Injector.PickIndex(total)
-	var victim *vm.Page
-scan:
 	for _, r := range m.AS.Regions {
 		n := 0
 		for _, td := range m.Cfg.Tiers {
@@ -113,13 +140,22 @@ scan:
 				continue
 			}
 			if k == 0 {
-				victim = p
-				break scan
+				return p
 			}
 			k--
 		}
 		break
 	}
+	return nil
+}
+
+// injectUE strikes a uniformly random page resident on a UE-prone tier
+// with an uncorrectable media error: the frame is retired and the page
+// remapped (keeping its tier and contents — the error was caught on
+// scrub, not on a demand read), and a FaultHandler manager is asked to
+// react.
+func (m *Machine) injectUE() {
+	victim := m.pickUEVictim()
 	if victim == nil {
 		return
 	}
@@ -128,6 +164,32 @@ scan:
 	if int(victim.Tier) >= 0 && int(victim.Tier) < vm.MaxTiers {
 		m.faultStats.UncorrectableByTier[victim.Tier]++
 	}
+	m.faultStats.PagesRetired++
+	if h, ok := m.Mgr.(FaultHandler); ok {
+		h.OnNVMUncorrectable(victim)
+	}
+}
+
+// injectCE lands a correctable media error on a uniformly random page of
+// a UE-prone tier. Correctable errors are absorbed by ECC — no data is
+// lost and the page stays mapped — but a page accumulating the chaos
+// config's retire threshold is predictively retired: the failing frame is
+// discarded before it can produce an uncorrectable error, the page
+// remaps (RetireFrame zeroes the page's error count with the frame), and
+// a FaultHandler manager may queue an emergency promotion exactly as for
+// a UE.
+func (m *Machine) injectCE() {
+	victim := m.pickUEVictim()
+	if victim == nil {
+		return
+	}
+	m.faultStats.CorrectableErrors++
+	victim.CorrectableErrors++
+	if victim.CorrectableErrors < m.Injector.CERetireThreshold() {
+		return
+	}
+	m.AS.RetireFrame(victim)
+	m.faultStats.PagesPredictivelyRetired++
 	m.faultStats.PagesRetired++
 	if h, ok := m.Mgr.(FaultHandler); ok {
 		h.OnNVMUncorrectable(victim)

@@ -260,6 +260,13 @@ type Config struct {
 	// Faults configures deterministic fault injection. The zero value
 	// disables it entirely; see internal/fault.
 	Faults fault.Config
+	// Audit enables the runtime invariant auditor: every quantum the
+	// machine verifies conservation invariants (occupancy counters vs
+	// page state, manager used[] vs resident bytes, migration-queue
+	// consistency) and panics with a diagnostic dump on the first
+	// violation. A pure observer — it draws no randomness and changes no
+	// behavior, so audited runs are bit-identical to unaudited ones.
+	Audit bool
 	// Tiers optionally declares the memory hierarchy explicitly, fastest
 	// first (e.g. DRAM, CXL, NVM, disk). Nil means the classic
 	// DRAM/NVM/disk testbed built from the size fields above. When set,
@@ -452,6 +459,21 @@ type Machine struct {
 	Injector   *fault.Injector
 	faultStats FaultStats
 
+	// Tier offline/online lifecycle (chaos tier faults or programmatic
+	// OfflineTier calls) and the replayable episode log.
+	offline      [vm.MaxTiers]bool
+	offlineSince [vm.MaxTiers]int64
+	evacDone     [vm.MaxTiers]bool
+	episodes     []fault.Episode
+	// epOpen holds, per tier, 1+index into episodes of its open
+	// tier-offline episode (0 = none), so OnlineTier and the evacuation
+	// sweep can patch End/EvacNs in place.
+	epOpen [vm.MaxTiers]int
+
+	// Invariant auditor (Config.Audit or SetAuditAll).
+	auditing  bool
+	auditsRun int64
+
 	rates     map[*vm.PageSet]*SetRates
 	rateOrder []*vm.PageSet
 
@@ -531,6 +553,7 @@ func New(cfg Config, mgr Manager) *Machine {
 		m.noneDev = 0
 	}
 	m.fastest = cfg.Tiers[0].ID
+	m.auditing = cfg.Audit || auditAll
 	m.Injector = fault.New(cfg.Faults, sim.NewRand(cfg.Seed^injectorSeedSalt))
 	m.Migrator = NewMigrator(m)
 	mgr.Attach(m)
@@ -665,6 +688,11 @@ func (m *Machine) Unmap(r *vm.Region) {
 		rel.Release(r)
 	}
 	m.AS.Unmap(r)
+	if m.auditing {
+		if vs := m.auditUnmap(r); len(vs) > 0 {
+			panic(m.auditDump(vs))
+		}
+	}
 }
 
 // Throughput returns the recorded ops/s series for workload name, or nil
@@ -730,6 +758,7 @@ func (m *Machine) Step(dt int64) {
 	// Advance migrations first so completed moves are visible to this
 	// quantum's costing, and so their bandwidth use seeds utilization.
 	m.Migrator.advance(now, dt)
+	m.offlineSweep(now)
 	migMoved := m.Migrator.planned(dt)
 
 	m.ws = m.ws[:0]
@@ -911,6 +940,12 @@ func (m *Machine) Step(dt int64) {
 	}
 	if m.telemetry != nil {
 		m.telemetry.sample(m, now, stallFrac)
+	}
+	if m.auditing {
+		m.auditsRun++
+		if vs := m.Audit(); len(vs) > 0 {
+			panic(m.auditDump(vs))
+		}
 	}
 
 	m.Clock.Advance(dt)

@@ -304,11 +304,16 @@ func (g *Migrator) finish(req *migReq, now int64) {
 func (g *Migrator) abort(req *migReq, now int64) {
 	st := g.m.FaultCounters()
 	st.MigrationAborts++
+	src, dst := req.page.Tier, req.dst
+	edgeOK := int(src) >= 0 && int(src) < vm.MaxTiers && int(dst) >= 0 && int(dst) < vm.MaxTiers
 	req.done = 0
 	req.attempts++
 	if req.attempts > g.m.Injector.MaxRetries() {
 		st.MigrationsAbandoned++
-		page, dst := req.page, req.dst
+		if edgeOK {
+			st.MigrationsAbandonedByEdge[src][dst]++
+		}
+		page := req.page
 		page.Migrating = false
 		g.release(req)
 		if obs, ok := g.m.Mgr.(MigrationFailureObserver); ok {
@@ -317,6 +322,9 @@ func (g *Migrator) abort(req *migReq, now int64) {
 		return
 	}
 	st.MigrationRetries++
+	if edgeOK {
+		st.MigrationRetriesByEdge[src][dst]++
+	}
 	req.notBefore = now + g.m.Injector.Backoff(req.attempts)
 	g.queue = append(g.queue, req)
 }
@@ -332,6 +340,9 @@ func (g *Migrator) complete(req *migReq) {
 	}
 	if int(src) >= 0 && int(src) < vm.MaxTiers && int(req.dst) >= 0 && int(req.dst) < vm.MaxTiers {
 		g.edges[src][req.dst]++
+	}
+	if int(src) > 0 && int(src) < vm.MaxTiers && g.m.offline[src] {
+		g.m.faultStats.TierEvacuatedPages++
 	}
 	g.stats.Pages++
 	page := req.page

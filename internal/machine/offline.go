@@ -1,0 +1,169 @@
+package machine
+
+import (
+	"github.com/tieredmem/hemem/internal/fault"
+	"github.com/tieredmem/hemem/internal/vm"
+)
+
+// TierEventHandler is implemented by managers that handle whole-tier
+// offline/online events themselves (graceful degradation: drain the
+// offline tier through their own policy with admission control and
+// backpressure, rebalance when the tier returns). Managers without the
+// interface get the machine's best-effort fallback — a direct evacuation
+// of every resident page to the nearest online neighbour — which does not
+// consult manager-internal space accounting and is therefore only
+// suitable for managers that derive occupancy from vm state.
+type TierEventHandler interface {
+	OnTierOffline(t vm.TierID)
+	OnTierOnline(t vm.TierID)
+}
+
+// OfflineTier takes tier t out of service (a CXL expander link-down, a
+// DIMM hot-remove): placement must stop targeting it and its resident
+// pages evacuate to the surviving tiers. It refuses tiers that are not in
+// the table, swap tiers, tiers already offline, and the last online
+// migratable tier (a machine must keep somewhere to run). Returns whether
+// the tier went offline.
+func (m *Machine) OfflineTier(t vm.TierID) bool { return m.offlineTier(t, 0) }
+
+// offlineTier is OfflineTier with the chaos scheduler's scheduled online
+// time (0 when unknown: programmatic calls bring the tier back with
+// OnlineTier).
+func (m *Machine) offlineTier(t vm.TierID, until int64) bool {
+	d, ok := m.DevOf(t)
+	if !ok || m.Cfg.Tiers[d].Swap || m.offline[t] {
+		return false
+	}
+	online := 0
+	for _, td := range m.Cfg.Tiers {
+		if !td.Swap && !m.offline[td.ID] {
+			online++
+		}
+	}
+	if online <= 1 {
+		return false
+	}
+	now := m.Clock.Now()
+	m.offline[t] = true
+	m.offlineSince[t] = now
+	m.evacDone[t] = false
+	m.faultStats.TierOfflineEvents++
+	m.episodes = append(m.episodes, fault.Episode{
+		Kind: fault.EpTierOffline, Tier: t, Start: now, End: until, EvacNs: -1,
+	})
+	m.epOpen[t] = len(m.episodes)
+	if h, ok := m.Mgr.(TierEventHandler); ok {
+		h.OnTierOffline(t)
+	} else {
+		m.fallbackEvacuate(t)
+	}
+	return true
+}
+
+// OnlineTier brings tier t back into service: placement may target it
+// again and managers rebalance onto it. Returns whether the tier was
+// offline.
+func (m *Machine) OnlineTier(t vm.TierID) bool {
+	if int(t) <= 0 || int(t) >= vm.MaxTiers || !m.offline[t] {
+		return false
+	}
+	m.offline[t] = false
+	m.faultStats.TierOnlineEvents++
+	if i := m.epOpen[t]; i > 0 {
+		m.episodes[i-1].End = m.Clock.Now()
+		m.epOpen[t] = 0
+	}
+	if h, ok := m.Mgr.(TierEventHandler); ok {
+		h.OnTierOnline(t)
+	}
+	return true
+}
+
+// TierIsOffline reports whether tier t is currently offline.
+func (m *Machine) TierIsOffline(t vm.TierID) bool {
+	return int(t) > 0 && int(t) < vm.MaxTiers && m.offline[t]
+}
+
+// Episodes returns the replayable fault-episode log: every episode onset
+// the injector or the tier lifecycle recorded, in order, with scheduled
+// ends and measured evacuation times. Callers must not mutate it.
+func (m *Machine) Episodes() []fault.Episode { return m.episodes }
+
+// offlineSweep tracks evacuation progress of offline tiers once per
+// quantum: when the last resident page has left (and nothing in the
+// migration queue still targets the tier), the drain is complete and its
+// duration — the tier's MTTR — is recorded. Managers without their own
+// TierEventHandler are re-kicked each quantum so aborted evacuation
+// migrations are re-enqueued.
+func (m *Machine) offlineSweep(now int64) {
+	for _, td := range m.Cfg.Tiers {
+		t := td.ID
+		if !m.offline[t] || m.evacDone[t] {
+			continue
+		}
+		resident := 0
+		for _, r := range m.AS.Regions {
+			resident += r.Count(t)
+		}
+		inbound := false
+		for _, req := range m.Migrator.queue {
+			if req.dst == t {
+				inbound = true
+				break
+			}
+		}
+		if resident == 0 && !inbound {
+			m.evacDone[t] = true
+			mttr := now - m.offlineSince[t]
+			m.faultStats.TierEvacuations++
+			m.faultStats.TierEvacNsTotal += mttr
+			if i := m.epOpen[t]; i > 0 {
+				m.episodes[i-1].EvacNs = mttr
+			}
+			continue
+		}
+		if _, ok := m.Mgr.(TierEventHandler); !ok {
+			m.fallbackEvacuate(t)
+		}
+	}
+}
+
+// fallbackEvacuate enqueues every page resident on offline tier t to the
+// nearest online migratable neighbour (faster preferred). Best-effort
+// path for managers without TierEventHandler; see the interface comment.
+func (m *Machine) fallbackEvacuate(t vm.TierID) {
+	dst, ok := m.nearestOnline(t)
+	if !ok {
+		return
+	}
+	for _, r := range m.AS.Regions {
+		if r.Count(t) == 0 {
+			continue
+		}
+		for _, p := range r.Pages {
+			if p.Tier == t && !p.Migrating {
+				m.Migrator.Enqueue(p, dst)
+			}
+		}
+	}
+}
+
+// nearestOnline returns the online migratable tier closest to t in the
+// table, preferring faster tiers.
+func (m *Machine) nearestOnline(t vm.TierID) (vm.TierID, bool) {
+	d, ok := m.DevOf(t)
+	if !ok {
+		return vm.TierNone, false
+	}
+	for i := int(d) - 1; i >= 0; i-- {
+		if td := m.Cfg.Tiers[i]; !td.Swap && !m.offline[td.ID] {
+			return td.ID, true
+		}
+	}
+	for i := int(d) + 1; i < len(m.Cfg.Tiers); i++ {
+		if td := m.Cfg.Tiers[i]; !td.Swap && !m.offline[td.ID] {
+			return td.ID, true
+		}
+	}
+	return vm.TierNone, false
+}

@@ -22,6 +22,10 @@ type FaultStats struct {
 	NVMUncorrectable    int64 // uncorrectable media errors struck (all UE tiers)
 	NVMThermalEpisodes  int64 // thermal-throttle episode onsets
 	PEBSStorms          int64 // sampling-storm episode onsets
+	CompoundEpisodes    int64 // chaos compound-episode onsets
+	CEStorms            int64 // correctable-error storm onsets
+	CorrectableErrors   int64 // ECC-corrected media errors struck
+	TierOfflineEvents   int64 // whole-tier offline events (link-down, hot-remove)
 
 	// UncorrectableByTier splits the media UEs by the TierID of the
 	// struck page (NVMUncorrectable is their sum). A fixed array keyed
@@ -29,24 +33,39 @@ type FaultStats struct {
 	UncorrectableByTier [vm.MaxTiers]int64
 
 	// Recovery actions.
-	MigrationRetries      int64 // aborted copies re-queued with backoff
-	MigrationsAbandoned   int64 // migrations given up after max retries
-	SoftwareCopyFallbacks int64 // DMA engine dead → thread-copy pool
-	PagesRetired          int64 // frames retired and pages remapped
-	EmergencyPromotions   int64 // struck pages promoted out of NVM
-	SamplePeriodRaises    int64 // adaptive PEBS period increases
+	MigrationRetries         int64 // aborted copies re-queued with backoff
+	MigrationsAbandoned      int64 // migrations given up after max retries
+	SoftwareCopyFallbacks    int64 // DMA engine dead → thread-copy pool
+	PagesRetired             int64 // frames retired and pages remapped
+	EmergencyPromotions      int64 // struck pages promoted out of NVM
+	SamplePeriodRaises       int64 // adaptive PEBS period increases
+	PagesPredictivelyRetired int64 // frames retired at the CE threshold, pre-UE
+	TierOnlineEvents         int64 // offline tiers brought back into service
+	TierEvacuations          int64 // offline-tier drains that ran to completion
+	TierEvacuatedPages       int64 // pages moved off a tier while it was offline
+	TierEvacNsTotal          int64 // summed drain times (MTTR = total/evacuations)
+
+	// Per-edge recovery splits, keyed [src][dst] by TierID (fixed arrays
+	// so FaultStats stays comparable). MigrationRetries and
+	// MigrationsAbandoned are their respective sums.
+	MigrationRetriesByEdge    [vm.MaxTiers][vm.MaxTiers]int64
+	MigrationsAbandonedByEdge [vm.MaxTiers][vm.MaxTiers]int64
 }
 
 // Injected sums the injected-fault counts.
 func (s FaultStats) Injected() int64 {
 	return s.MigrationAborts + s.DMAChannelFailures + s.DMADegradedEpisodes +
-		s.NVMUncorrectable + s.NVMThermalEpisodes + s.PEBSStorms
+		s.NVMUncorrectable + s.NVMThermalEpisodes + s.PEBSStorms +
+		s.CompoundEpisodes + s.CEStorms + s.CorrectableErrors + s.TierOfflineEvents
 }
 
-// Recoveries sums the recovery-action counts.
+// Recoveries sums the recovery-action counts. PagesPredictivelyRetired
+// is a subset of PagesRetired and TierEvacNsTotal is a duration, so
+// neither contributes separately.
 func (s FaultStats) Recoveries() int64 {
 	return s.MigrationRetries + s.MigrationsAbandoned + s.SoftwareCopyFallbacks +
-		s.PagesRetired + s.EmergencyPromotions + s.SamplePeriodRaises
+		s.PagesRetired + s.EmergencyPromotions + s.SamplePeriodRaises +
+		s.TierOnlineEvents + s.TierEvacuations + s.TierEvacuatedPages
 }
 
 // FaultCounters returns the machine's fault/recovery counters. Managers
@@ -126,7 +145,43 @@ func (t *Telemetry) sample(m *Machine, now int64, stallFrac float64) {
 		t.get("fault.migration.aborts").Append(now, float64(fs.MigrationAborts))
 		t.get("fault.migration.abandoned").Append(now, float64(fs.MigrationsAbandoned))
 		t.get("fault.nvm.retired").Append(now, float64(fs.PagesRetired))
+		// Chaos-layer series appear lazily, only once their counter first
+		// moves, so runs without a chaos config (and all pre-chaos golden
+		// CSVs) keep the exact column set they had. WriteCSV's
+		// union-of-timestamps alignment backfills late starters with 0.
+		if fs.CorrectableErrors > 0 {
+			t.get("fault.ce.injected").Append(now, float64(fs.CorrectableErrors))
+			t.get("fault.ce.retired").Append(now, float64(fs.PagesPredictivelyRetired))
+		}
+		if fs.TierOfflineEvents > 0 {
+			t.get("fault.tier.offline.events").Append(now, float64(fs.TierOfflineEvents))
+			t.get("fault.tier.online.events").Append(now, float64(fs.TierOnlineEvents))
+			t.get("fault.tier.evacuated.pages").Append(now, float64(fs.TierEvacuatedPages))
+			mttr := 0.0
+			if fs.TierEvacuations > 0 {
+				mttr = float64(fs.TierEvacNsTotal) / float64(fs.TierEvacuations) / float64(sim.Millisecond)
+			}
+			t.get("fault.tier.mttr.ms").Append(now, mttr)
+		}
+		// Per-edge retry/abandon splits, one lazy series per migration
+		// edge that has seen the event, named by the tier pair.
+		for _, sd := range m.Cfg.Tiers {
+			for _, dd := range m.Cfg.Tiers {
+				src, dst := sd.ID, dd.ID
+				if n := fs.MigrationRetriesByEdge[src][dst]; n > 0 {
+					t.get("fault.migration.retries."+edgeName(src, dst)).Append(now, float64(n))
+				}
+				if n := fs.MigrationsAbandonedByEdge[src][dst]; n > 0 {
+					t.get("fault.migration.abandoned."+edgeName(src, dst)).Append(now, float64(n))
+				}
+			}
+		}
 	}
+}
+
+// edgeName names a migration edge for telemetry series: "nvm-dram".
+func edgeName(src, dst vm.TierID) string {
+	return strings.ToLower(src.String()) + "-" + strings.ToLower(dst.String())
 }
 
 // Series returns the named series, or nil (names:

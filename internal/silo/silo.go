@@ -216,11 +216,40 @@ func (tx *Tx) Commit() error {
 // rowLess orders rows for deadlock-free locking.
 func rowLess(a, b *row) bool { return a.seq < b.seq }
 
-// Run executes fn in a transaction, retrying on conflicts.
+// validateReads re-checks the observed version of every row in the read
+// set and reports whether the snapshot is still current. Commit performs
+// the same check under the write locks; this standalone form lets Run
+// distinguish a transaction body that failed on a torn snapshot (retry)
+// from one that failed on current data (a real error).
+func (tx *Tx) validateReads() bool {
+	for r, tid := range tx.reads {
+		r.mu.Lock()
+		cur := r.tid
+		r.mu.Unlock()
+		if cur != tid {
+			return false
+		}
+	}
+	return true
+}
+
+// Run executes fn in a transaction, retrying on conflicts — both
+// conflicts detected at commit and conflicts surfacing inside fn. A
+// transaction body reads one row at a time, so between two reads a
+// concurrent commit can tear the snapshot (e.g. it consumes the order
+// our district read pointed at and deletes its row); fn then fails with
+// an error like ErrNotFound that is really a serialization conflict,
+// not a data error. Errors from fn are therefore returned only when the
+// read set still validates — on a stale snapshot the transaction
+// retries exactly as a commit-time conflict would, which is what Silo's
+// protocol guarantees for transactions that reach validation.
 func (db *DB) Run(fn func(tx *Tx) error) error {
 	for {
 		tx := db.Begin()
 		if err := fn(tx); err != nil {
+			if errors.Is(err, ErrConflict) || !tx.validateReads() {
+				continue
+			}
 			return err
 		}
 		err := tx.Commit()

@@ -195,3 +195,89 @@ func TestTablesAreIndependent(t *testing.T) {
 		return nil
 	})
 }
+
+// A transaction body that fails because a concurrent commit tore its
+// snapshot mid-read is retried by Run, not surfaced as an error: the
+// first attempt reads a pointer row, a simulated concurrent transaction
+// then consumes the pointed-at row and advances the pointer, and the
+// body's second read hits ErrNotFound. Run must detect the stale read
+// set and rerun the body against the new state. This is the exact shape
+// of the TPC-C Delivery race (district.NextDlvO → deleted new-order
+// row).
+func TestRunRetriesTornSnapshot(t *testing.T) {
+	db := NewDB()
+	ptr := db.Table("ptr")
+	items := db.Table("items")
+	if err := db.Run(func(tx *Tx) error {
+		tx.Write(ptr, 0, []byte{1})
+		tx.Write(items, 1, []byte("order-1"))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	attempts := 0
+	err := db.Run(func(tx *Tx) error {
+		attempts++
+		next, err := tx.Read(ptr, 0)
+		if err != nil {
+			return err
+		}
+		if attempts == 1 {
+			// Concurrent transaction consumes item 1 and bumps the
+			// pointer between our two reads.
+			if err := db.Run(func(tx2 *Tx) error {
+				tx2.Delete(items, 1)
+				tx2.Write(ptr, 0, []byte{2})
+				tx2.Write(items, 2, []byte("order-2"))
+				return nil
+			}); err != nil {
+				return err
+			}
+		}
+		v, err := tx.Read(items, uint64(next[0]))
+		if err != nil {
+			return err // first attempt: ErrNotFound on a torn snapshot
+		}
+		tx.Delete(items, uint64(next[0]))
+		tx.Write(ptr, 0, []byte{next[0] + 1})
+		_ = v
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Run = %v, want retry and success", err)
+	}
+	if attempts < 2 {
+		t.Fatalf("attempts = %d, want ≥ 2 (torn first attempt retried)", attempts)
+	}
+	// The retried body must have consumed order 2 (the current pointer),
+	// not order 1.
+	db.Run(func(tx *Tx) error {
+		if _, err := tx.Read(items, 2); !errors.Is(err, ErrNotFound) {
+			t.Errorf("item 2 = %v, want consumed (ErrNotFound)", err)
+		}
+		next, err := tx.Read(ptr, 0)
+		if err != nil || next[0] != 3 {
+			t.Errorf("ptr = %v, %v, want 3", next, err)
+		}
+		return nil
+	})
+}
+
+// Genuine errors from the transaction body — ones not caused by a stale
+// read set — still surface through Run instead of retrying forever.
+func TestRunSurfacesGenuineErrors(t *testing.T) {
+	db := NewDB()
+	tbl := db.Table("t")
+	attempts := 0
+	err := db.Run(func(tx *Tx) error {
+		attempts++
+		_, err := tx.Read(tbl, 42)
+		return err
+	})
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Run = %v, want ErrNotFound", err)
+	}
+	if attempts != 1 {
+		t.Fatalf("attempts = %d, want 1 (no retry on valid snapshot)", attempts)
+	}
+}

@@ -130,6 +130,12 @@ type Page struct {
 	// backing it (AddressSpace.RetireFrame).
 	Remaps int
 
+	// CorrectableErrors counts ECC-corrected media errors absorbed by the
+	// frame currently backing this page. The fault layer retires frames
+	// predictively once the count crosses its threshold; RetireFrame
+	// zeroes it, since the replacement frame starts with a clean history.
+	CorrectableErrors int
+
 	// Set membership is stored inline for the common case (a page joins
 	// at most two sets: e.g. GUPS hot + write-only partitions) so that
 	// building million-page sets does not allocate a slice header per
@@ -438,11 +444,13 @@ func (a *AddressSpace) Page(id PageID) *Page { return a.pages[id] }
 func (a *AddressSpace) NumPages() int { return len(a.pages) }
 
 // RetireFrame records that the physical frame backing p suffered an
-// uncorrectable media error and was taken out of service: p is remapped
-// to a fresh frame (the OS hwpoison/soft-offline path) and keeps its
-// virtual address, tier, and set memberships.
+// uncorrectable media error (or crossed the correctable-error retirement
+// threshold) and was taken out of service: p is remapped to a fresh frame
+// (the OS hwpoison/soft-offline path) and keeps its virtual address,
+// tier, and set memberships. The fresh frame has a clean error history.
 func (a *AddressSpace) RetireFrame(p *Page) {
 	p.Remaps++
+	p.CorrectableErrors = 0
 	a.retiredFrames++
 }
 
