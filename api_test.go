@@ -75,8 +75,8 @@ func TestPublicGraph(t *testing.T) {
 }
 
 func TestPublicExperiments(t *testing.T) {
-	if len(hemem.Experiments()) != 22 {
-		t.Fatalf("experiments = %d, want 22", len(hemem.Experiments()))
+	if len(hemem.Experiments()) != 23 {
+		t.Fatalf("experiments = %d, want 23", len(hemem.Experiments()))
 	}
 	var buf bytes.Buffer
 	if !hemem.RunExperiment("tab1", &buf, hemem.ExperimentOpts{}) {
@@ -115,4 +115,64 @@ func TestPublicTierTable(t *testing.T) {
 	if id.String() != "hbm" {
 		t.Fatalf("custom tier name = %q", id.String())
 	}
+}
+
+// The tracker/policy registry is reachable through the façade: built-in
+// names enumerate, rival selections build working managers, and a custom
+// heat forecaster registers and drives the heat policy by name.
+func TestPublicTrackerPolicyRegistry(t *testing.T) {
+	want := map[string][]string{
+		"trackers":    hemem.TrackerNames(),
+		"policies":    hemem.PolicyNames(),
+		"forecasters": hemem.HeatForecasterNames(),
+	}
+	for _, name := range []string{"pebs", "damon", "idlepage"} {
+		if !containsStr(want["trackers"], name) {
+			t.Fatalf("tracker %q missing from %v", name, want["trackers"])
+		}
+	}
+	for _, name := range []string{"hemem", "heat"} {
+		if !containsStr(want["policies"], name) {
+			t.Fatalf("policy %q missing from %v", name, want["policies"])
+		}
+	}
+
+	hemem.RegisterHeatForecaster("api-test-flat", func(hemem.HeMemConfig) hemem.HeatForecaster {
+		return flatForecast{}
+	})
+	if !containsStr(hemem.HeatForecasterNames(), "api-test-flat") {
+		t.Fatal("custom forecaster not listed after registration")
+	}
+
+	cfg := hemem.HeMemConfig{Tracker: "damon", Policy: "heat", HeatForecaster: "api-test-flat"}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("Validate rejected registered names: %v", err)
+	}
+	mgr := hemem.NewHeMem(cfg)
+	m := hemem.NewMachine(hemem.DefaultMachineConfig(), mgr)
+	g := hemem.NewGUPS(m, hemem.GUPSConfig{
+		Threads: 8, WorkingSet: 16 * hemem.GB, HotSet: 2 * hemem.GB, Seed: 1,
+	})
+	m.Warm()
+	m.Run(2 * hemem.Second)
+	if g.Score() <= 0 {
+		t.Fatal("no progress with damon+heat through public API")
+	}
+	if mgr.Stats().Samples == 0 {
+		t.Fatal("custom-configured manager observed no accesses")
+	}
+}
+
+type flatForecast struct{}
+
+func (flatForecast) Name() string                    { return "api-test-flat" }
+func (flatForecast) Forecast(cur, _ float64) float64 { return cur }
+
+func containsStr(xs []string, want string) bool {
+	for _, x := range xs {
+		if x == want {
+			return true
+		}
+	}
+	return false
 }

@@ -3,7 +3,11 @@
 //
 // Usage:
 //
-//	hemem-bench -list              list experiments
+//	hemem-bench -list              list experiments, registered trackers,
+//	                               policies, and heat forecasters
+//	hemem-bench -exp trackers -tracker damon -policy heat
+//	                               run one cell of the tracker × policy
+//	                               cross-product
 //	hemem-bench -exp fig5          run one experiment (quick parameters)
 //	hemem-bench -exp all -full     run everything at paper-scale lengths
 //	hemem-bench -exp all -jobs 8   fan experiment cells out over 8 workers
@@ -27,9 +31,11 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"github.com/tieredmem/hemem/internal/bench"
+	"github.com/tieredmem/hemem/internal/core"
 	"github.com/tieredmem/hemem/internal/machine"
 )
 
@@ -40,7 +46,9 @@ func main() {
 		seed       = flag.Uint64("seed", 0, "workload layout seed (0 = default)")
 		jobs       = flag.Int("jobs", 0, "sweep worker pool size (0 = GOMAXPROCS); any value produces identical output")
 		verbose    = flag.Bool("v", false, "narrate per-cell completion to stderr")
-		list       = flag.Bool("list", false, "list experiments")
+		list       = flag.Bool("list", false, "list experiments, trackers, policies, and heat forecasters")
+		tracker    = flag.String("tracker", "", "restrict the trackers experiment to one registered tracker")
+		policy     = flag.String("policy", "", "restrict the trackers experiment to one registered policy")
 		audit      = flag.Bool("audit", false, "run the invariant auditor every quantum on every machine (panics with a diagnostic dump on a violation)")
 		perf       = flag.Bool("perf", false, "run the simulator performance harness")
 		out        = flag.String("out", "", "with -perf: write the JSON report to this file (default stdout)")
@@ -81,7 +89,7 @@ func main() {
 		}()
 	}
 
-	opts := bench.Opts{Full: *full, Seed: *seed, Jobs: *jobs}
+	opts := bench.Opts{Full: *full, Seed: *seed, Jobs: *jobs, Tracker: *tracker, Policy: *policy}
 	if *verbose {
 		opts.Progress = os.Stderr
 	}
@@ -116,6 +124,9 @@ func main() {
 		for _, e := range exps {
 			fmt.Printf("  %-*s  %s\n", width, e.ID, e.Title)
 		}
+		fmt.Printf("\ntrackers (-tracker):         %s\n", strings.Join(core.TrackerNames(), ", "))
+		fmt.Printf("policies (-policy):          %s\n", strings.Join(core.PolicyNames(), ", "))
+		fmt.Printf("heat forecasters (config):   %s\n", strings.Join(core.HeatForecasterNames(), ", "))
 		if *exp == "" {
 			fmt.Println("\nrun with -exp <id> or -exp all")
 		}

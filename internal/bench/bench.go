@@ -40,6 +40,12 @@ type Opts struct {
 	// ("cell 13/27 fig5/ws=64GB done in 0.4s"). It is separate from the
 	// experiment's table output, which stays canonical.
 	Progress io.Writer
+	// Tracker and Policy, when non-empty, restrict the trackers
+	// experiment's cross-product to a single registered tracker/policy
+	// (the CI smoke matrix runs one pair per job). Other experiments
+	// ignore them.
+	Tracker string
+	Policy  string
 }
 
 func (o Opts) seed() uint64 {

@@ -1,0 +1,11 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports whether the race detector instruments this build.
+// The heavyweight determinism replays skip under it: they assert
+// value-level byte-identity (which instrumentation cannot change), and
+// their concurrency shape is already race-covered by the cheaper
+// TestParallelOutputByteIdentical and TestChaosSoak — running them
+// race-instrumented would only push the race gate past its time budget.
+const raceEnabled = true

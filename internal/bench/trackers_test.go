@@ -1,0 +1,175 @@
+package bench
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/tieredmem/hemem/internal/core"
+	"github.com/tieredmem/hemem/internal/gups"
+	"github.com/tieredmem/hemem/internal/machine"
+	"github.com/tieredmem/hemem/internal/sim"
+	"github.com/tieredmem/hemem/internal/vm"
+)
+
+// The trackers cross-product must render every registered tracker and
+// policy (the -tracker/-policy filters narrow it; see TestTrackersFilter)
+// and report the accuracy and traffic columns per cell.
+func TestTrackersGridShape(t *testing.T) {
+	trackers := trackerCells(Opts{})
+	policies := policyCells(Opts{})
+	if len(trackers) < 3 {
+		t.Fatalf("registered trackers %v, want at least pebs, damon, idlepage", trackers)
+	}
+	if len(policies) < 2 {
+		t.Fatalf("registered policies %v, want at least hemem, heat", policies)
+	}
+	for _, want := range []string{"pebs", "damon", "idlepage"} {
+		if filterNames(trackers, want) == nil {
+			t.Errorf("tracker %q not registered", want)
+		}
+	}
+	for _, want := range []string{"hemem", "heat"} {
+		if filterNames(policies, want) == nil {
+			t.Errorf("policy %q not registered", want)
+		}
+	}
+}
+
+// The -tracker/-policy filters restrict the cross-product to one
+// registered name and drop unknown names to an empty grid rather than
+// silently running everything.
+func TestTrackersFilter(t *testing.T) {
+	if got := trackerCells(Opts{Tracker: "damon"}); len(got) != 1 || got[0] != "damon" {
+		t.Errorf("tracker filter damon -> %v", got)
+	}
+	if got := policyCells(Opts{Policy: "heat"}); len(got) != 1 || got[0] != "heat" {
+		t.Errorf("policy filter heat -> %v", got)
+	}
+	if got := trackerCells(Opts{Tracker: "nope"}); got != nil {
+		t.Errorf("unknown tracker filter -> %v, want nil", got)
+	}
+}
+
+// Same seed ⇒ byte-identical trackers output at every worker count: the
+// cross-product cells derive all randomness from declaration-time
+// identity, so scheduling order cannot leak into the table.
+func TestTrackersSweepByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulated sweeps")
+	}
+	if raceEnabled {
+		// Sweep-engine concurrency is race-covered by the cheaper
+		// TestParallelOutputByteIdentical; this test pins values, which
+		// instrumentation cannot change, and costs ~10 min under -race.
+		t.Skip("value-level determinism check; skipped under the race detector")
+	}
+	serial := runExp(t, "trackers", 1)
+	parallel := runExp(t, "trackers", 8)
+	if serial != parallel {
+		t.Fatalf("trackers output differs between -jobs 1 and -jobs 8:\n--- serial ---\n%s\n--- jobs=8 ---\n%s",
+			serial, parallel)
+	}
+	// The grid covers the full cross-product: every tracker × policy pair
+	// appears on some row (tabwriter pads columns with spaces, so match
+	// both names on one line).
+	for _, tr := range trackerCells(Opts{}) {
+		for _, po := range policyCells(Opts{}) {
+			found := false
+			for _, line := range strings.Split(serial, "\n") {
+				if strings.Contains(line, tr) && strings.Contains(line, " "+po+" ") {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("cell %s×%s missing from output:\n%s", tr, po, serial)
+			}
+		}
+	}
+}
+
+// trackerChaosOutcome digests everything a chaos replay can legally
+// differ in for a given tracker.
+type trackerChaosOutcome struct {
+	score uint64
+	ops   uint64
+	stats core.Stats
+	fc    machine.FaultStats
+	moved [3]int64
+}
+
+// chaosTrackerRun replays one short chaos soak — compound episodes, CE
+// storms, CXL offline/online cycles, the invariant auditor checking
+// every quantum — with the given tracker driving the default policy on
+// the chaosMachine testbed.
+func chaosTrackerRun(t *testing.T, tracker string, seed uint64) (trackerChaosOutcome, string) {
+	t.Helper()
+	mcfg := machine.DefaultConfig()
+	mcfg.Seed = seed
+	mcfg.Faults = soakFaults()
+	mcfg.Audit = true
+	mcfg.Tiers = []machine.TierDesc{
+		{ID: vm.TierDRAM, Capacity: 8 * sim.GB},
+		{ID: vm.TierCXL, Capacity: 8 * sim.GB},
+		{ID: vm.TierNVM, Capacity: 256 * sim.GB, UEVictim: true},
+		{ID: vm.TierDisk, Capacity: 1 * sim.TB, Swap: true},
+	}
+	h := core.New(core.Config{Tracker: tracker})
+	m := machine.New(mcfg, h)
+	g := gups.New(m, gups.Config{
+		Threads: 16, WorkingSet: 32 * sim.GB, HotSet: 6 * sim.GB, Seed: seed,
+	})
+	tel := m.EnableTelemetry(100 * sim.Millisecond)
+	m.Warm()
+	m.Run(3 * sim.Second)
+	g.ResetScore()
+	m.Run(5 * sim.Second)
+	var csv strings.Builder
+	if err := tel.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	out := trackerChaosOutcome{
+		score: math.Float64bits(g.Score()),
+		ops:   math.Float64bits(m.TotalOps("gups")),
+		stats: h.Stats(),
+		fc:    *m.FaultCounters(),
+		moved: [3]int64{
+			m.Migrator.Moved(vm.TierDRAM, vm.TierCXL),
+			m.Migrator.Moved(vm.TierCXL, vm.TierNVM),
+			m.Migrator.Moved(vm.TierCXL, vm.TierDRAM),
+		},
+	}
+	if out.fc.Injected() == 0 {
+		t.Fatalf("%s chaos run injected no faults; scenario lost its coverage", tracker)
+	}
+	return out, csv.String()
+}
+
+// The scan-based trackers replay bit-identically under the full chaos
+// menagerie with the auditor on: their RNG streams derive from the
+// machine seed, not from scheduling, and an auditor violation panics the
+// run.
+func TestTrackersChaosReplayIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulated chaos replays")
+	}
+	if raceEnabled {
+		// Two serial replays compared for equality — no concurrency beyond
+		// what TestChaosSoak already runs race-instrumented. Under -race this
+		// test alone costs ~9.5 min and would blow the gate's budget.
+		t.Skip("value-level determinism check; skipped under the race detector")
+	}
+	for _, tracker := range []string{"damon", "idlepage"} {
+		t.Run(tracker, func(t *testing.T) {
+			a, acsv := chaosTrackerRun(t, tracker, 23)
+			b, bcsv := chaosTrackerRun(t, tracker, 23)
+			if a != b {
+				t.Errorf("replay diverged:\n%+v\nvs\n%+v", a, b)
+			}
+			if acsv != bcsv {
+				t.Errorf("telemetry CSV diverged (%d vs %d bytes)", len(acsv), len(bcsv))
+			}
+		})
+	}
+}

@@ -1,0 +1,78 @@
+// Heat forecasters: small pluggable estimators the heat policy uses to
+// turn a region bucket's decayed activity history into the value it
+// classifies on. Registered by name like trackers and policies
+// (memtierd's heatforecaster chain is the exemplar) and selected with
+// Config.HeatForecaster.
+package core
+
+import "sort"
+
+// HeatForecaster predicts a bucket's near-future heat from its current
+// decayed heat and the value one policy tick earlier.
+type HeatForecaster interface {
+	// Name identifies the forecaster in reports and -list output.
+	Name() string
+	// Forecast returns the heat to classify on.
+	Forecast(cur, prev float64) float64
+}
+
+// HeatForecasterFactory builds a forecaster from the engine config.
+type HeatForecasterFactory func(cfg Config) HeatForecaster
+
+var forecasterRegistry = map[string]HeatForecasterFactory{}
+
+// RegisterHeatForecaster installs a forecaster factory under name,
+// making it selectable via Config.HeatForecaster. Registering a
+// duplicate name panics.
+func RegisterHeatForecaster(name string, f HeatForecasterFactory) {
+	if _, dup := forecasterRegistry[name]; dup {
+		panic("core: duplicate heat forecaster " + name)
+	}
+	forecasterRegistry[name] = f
+}
+
+// HeatForecasterNames returns every registered forecaster name, sorted.
+func HeatForecasterNames() []string {
+	out := make([]string, 0, len(forecasterRegistry))
+	for n := range forecasterRegistry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// staticForecast classifies on the current heat alone.
+type staticForecast struct{}
+
+func (staticForecast) Name() string                       { return "static" }
+func (staticForecast) Forecast(cur, prev float64) float64 { return cur }
+
+// trendForecast extrapolates the last tick's trend one tick forward,
+// clamped at zero: a bucket ramping up classifies hot one tick earlier,
+// a bucket ramping down releases its fast-tier claim earlier.
+type trendForecast struct{}
+
+func (trendForecast) Name() string { return "trend" }
+func (trendForecast) Forecast(cur, prev float64) float64 {
+	f := 2*cur - prev
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+// emaForecast blends the current heat with the previous value, smoothing
+// single-tick spikes before they trigger migration traffic.
+type emaForecast struct{}
+
+func (emaForecast) Name() string { return "ema" }
+func (emaForecast) Forecast(cur, prev float64) float64 {
+	const alpha = 0.7
+	return alpha*cur + (1-alpha)*prev
+}
+
+func init() {
+	RegisterHeatForecaster("static", func(cfg Config) HeatForecaster { return staticForecast{} })
+	RegisterHeatForecaster("trend", func(cfg Config) HeatForecaster { return trendForecast{} })
+	RegisterHeatForecaster("ema", func(cfg Config) HeatForecaster { return emaForecast{} })
+}

@@ -91,6 +91,20 @@ type Config struct {
 	OverrunPatience int
 	// MaxSamplePeriod caps adaptive raises (default 16× SamplePeriod).
 	MaxSamplePeriod float64
+	// Tracker selects the access-observation mechanism by registered
+	// name (see RegisterTracker): "pebs" (the paper's sampling pipeline),
+	// "damon" (adaptive region sampling), "idlepage" (page-table scan).
+	// Empty selects "pebs".
+	Tracker string
+	// Policy selects the classification/migration policy by registered
+	// name (see RegisterPolicy): "hemem" (the paper's per-page counters)
+	// or "heat" (decaying region heatmap with a forecaster). Empty
+	// selects "hemem".
+	Policy string
+	// HeatForecaster selects the heat policy's forecaster by registered
+	// name (see RegisterHeatForecaster): "ema", "trend", or "static".
+	// Empty selects "ema". Ignored by the hemem policy.
+	HeatForecaster string
 }
 
 // DefaultConfig returns the paper's prototype parameters.
@@ -109,6 +123,9 @@ func DefaultConfig() Config {
 		CopyThreads:         4,
 		BackgroundThreads:   2.5,
 		FreeNVMTarget:       1 * sim.GB,
+		Tracker:             "pebs",
+		Policy:              "hemem",
+		HeatForecaster:      "ema",
 	}
 }
 
@@ -153,6 +170,24 @@ func (c Config) Validate() error {
 	if c.MaxSamplePeriod < 0 {
 		return fmt.Errorf("core: negative MaxSamplePeriod %v", c.MaxSamplePeriod)
 	}
+	if c.Tracker != "" {
+		if _, ok := trackerRegistry[c.Tracker]; !ok {
+			return fmt.Errorf("core: unknown tracker %q (registered: %s)",
+				c.Tracker, strings.Join(TrackerNames(), ", "))
+		}
+	}
+	if c.Policy != "" {
+		if _, ok := policyRegistry[c.Policy]; !ok {
+			return fmt.Errorf("core: unknown policy %q (registered: %s)",
+				c.Policy, strings.Join(PolicyNames(), ", "))
+		}
+	}
+	if c.HeatForecaster != "" {
+		if _, ok := forecasterRegistry[c.HeatForecaster]; !ok {
+			return fmt.Errorf("core: unknown heat forecaster %q (registered: %s)",
+				c.HeatForecaster, strings.Join(HeatForecasterNames(), ", "))
+		}
+	}
 	return nil
 }
 
@@ -179,20 +214,23 @@ type Stats struct {
 	Evacuations  int64
 }
 
-// HeMem is the manager: it implements machine.Manager, consumes PEBS
-// samples, classifies pages into per-tier hot/cold FIFO queues, and runs
-// the migration policy every PolicyInterval. The policy is written against
-// the machine's tier table rather than a fixed DRAM/NVM pair: each
-// migratable tier holds a hot and a cold queue, demotions flow to the next
-// slower tier and promotions to the next faster one, so the same code
-// drives 2-, 3-, or 4-tier chains (e.g. DRAM+CXL+NVM) without changes.
+// HeMem is the manager: it implements machine.Manager, owning the shared
+// tiering fabric — per-tier hot/cold FIFO queues, capacity accounting,
+// the migration chain, swap, and offline-tier evacuation — while
+// delegating access observation to a pluggable Tracker and
+// classification/migration decisions to a pluggable Policy (both
+// selected by Config; the defaults reproduce the paper's PEBS pipeline
+// byte-for-byte). The fabric is written against the machine's tier table
+// rather than a fixed DRAM/NVM pair: each migratable tier holds a hot
+// and a cold queue, demotions flow to the next slower tier and
+// promotions to the next faster one, so the same code drives 2-, 3-, or
+// 4-tier chains (e.g. DRAM+CXL+NVM) without changes.
 type HeMem struct {
 	cfg Config
 	m   *machine.Machine
 
-	buffer  *pebs.Buffer
-	sampler *pebs.Sampler
-	reader  *pebs.Reader
+	tracker Tracker
+	pol     Policy
 
 	// pages maps PageID to tracking state; nil entries are unmanaged
 	// (small kernel allocations).
@@ -246,16 +284,6 @@ type HeMem struct {
 	// pure GC scan load. Pointers into a slab stay valid because slabs
 	// are never resized, only appended.
 	piSlab []PageInfo
-
-	// recScratch is the reusable record batch the PEBS reader drains
-	// into each quantum.
-	recScratch []pebs.Record
-
-	// Adaptive-sampling state: buffer counters at the last policy tick
-	// and the current run of overrunning ticks.
-	lastPushed    uint64
-	lastDropped   uint64
-	overrunStreak int
 
 	stats Stats
 }
@@ -319,18 +347,18 @@ func New(cfg Config) *HeMem {
 	if cfg.OverrunPatience <= 0 {
 		cfg.OverrunPatience = 5
 	}
+	if cfg.Tracker == "" {
+		cfg.Tracker = def.Tracker
+	}
+	if cfg.Policy == "" {
+		cfg.Policy = def.Policy
+	}
+	if cfg.HeatForecaster == "" {
+		cfg.HeatForecaster = def.HeatForecaster
+	}
 	h := &HeMem{cfg: cfg, swapTier: vm.TierNone}
-	var err error
-	if h.buffer, err = pebs.NewBuffer(cfg.PEBSBufferCap); err == nil {
-		if h.sampler, err = pebs.NewSampler(cfg.SamplePeriod, h.buffer); err == nil {
-			h.reader, err = pebs.NewReader(cfg.ReaderRate)
-		}
-	}
-	if err != nil {
-		// Internal invariant: the fields were normalized to positive
-		// values above.
-		panic("core: " + err.Error())
-	}
+	h.tracker = newTracker(cfg)
+	h.pol = newPolicy(cfg)
 	return h
 }
 
@@ -343,15 +371,35 @@ func (h *HeMem) Config() Config { return h.cfg }
 // Stats returns a copy of the engine counters.
 func (h *HeMem) Stats() Stats { return h.stats }
 
-// Sampler implements machine.SampleSource.
-func (h *HeMem) Sampler() *pebs.Sampler { return h.sampler }
+// Tracker returns the active access tracker.
+func (h *HeMem) Tracker() Tracker { return h.tracker }
 
-// Buffer exposes the PEBS buffer (drop statistics for Figure 10).
-func (h *HeMem) Buffer() *pebs.Buffer { return h.buffer }
+// Policy returns the active classification/migration policy.
+func (h *HeMem) Policy() Policy { return h.pol }
+
+// Sampler implements machine.SampleSource: the machine feeds PEBS
+// samples into the tracker's sampler when the tracker has one. Scan- and
+// region-based trackers return nil and observe through the machine's
+// traffic rates instead.
+func (h *HeMem) Sampler() *pebs.Sampler {
+	if s, ok := h.tracker.(interface{ Sampler() *pebs.Sampler }); ok {
+		return s.Sampler()
+	}
+	return nil
+}
+
+// Buffer exposes the PEBS buffer (drop statistics for Figure 10), or nil
+// when the active tracker does not sample through one.
+func (h *HeMem) Buffer() *pebs.Buffer {
+	if b, ok := h.tracker.(interface{ Buffer() *pebs.Buffer }); ok {
+		return b.Buffer()
+	}
+	return nil
+}
 
 // Attach implements machine.Manager: build the per-tier queues from the
-// machine's tier table, wire the migrator backend, and start the policy
-// timer.
+// machine's tier table, wire the migrator backend, attach the tracker
+// and policy, and start the policy timer.
 func (h *HeMem) Attach(m *machine.Machine) {
 	h.m = m
 	h.initTiers()
@@ -361,9 +409,11 @@ func (h *HeMem) Attach(m *machine.Machine) {
 	} else {
 		m.Migrator.SetBackend(machine.ThreadBackend{Copier: dma.NewThreadCopier(h.cfg.CopyThreads)})
 	}
+	h.tracker.Attach(h)
+	h.pol.Attach(h)
 	var tick func(now int64)
 	tick = func(now int64) {
-		h.policy()
+		h.tick(now)
 		m.Events.Schedule(now+h.cfg.PolicyInterval, tick)
 	}
 	m.Events.Schedule(m.Clock.Now()+h.cfg.PolicyInterval, tick)
@@ -495,7 +545,8 @@ func (h *HeMem) Manage(r *vm.Region) {
 			continue
 		}
 		pi := h.track(p)
-		h.coldList(p.Tier).PushBack(pi)
+		h.pol.PagePlaced(pi)
+		h.tracker.PageIn(pi)
 	}
 }
 
@@ -542,6 +593,8 @@ func (h *HeMem) Release(r *vm.Region) {
 			}
 		}
 		if pi := h.info(p.ID); pi != nil {
+			h.tracker.PageOut(pi)
+			h.pol.PageOut(pi)
 			if pi.list != nil {
 				pi.list.Remove(pi)
 			}
@@ -617,7 +670,8 @@ func (h *HeMem) PageIn(p *vm.Page) {
 		if !h.offlineAt(i) && h.used[h.chain[i]]+ps <= h.caps[i] {
 			h.addUsed(h.chain[i], ps)
 			p.SetTier(h.chain[i])
-			h.cold[i].PushBack(pi)
+			h.pol.PagePlaced(pi)
+			h.tracker.PageIn(pi)
 			return
 		}
 	}
@@ -625,112 +679,25 @@ func (h *HeMem) PageIn(p *vm.Page) {
 	if !h.cfg.EnableSwap || h.swapTier == vm.TierNone || h.used[slowest]+ps <= h.caps[last] {
 		h.addUsed(slowest, ps)
 		p.SetTier(slowest)
-		h.cold[last].PushBack(pi)
+		h.pol.PagePlaced(pi)
+		h.tracker.PageIn(pi)
 		return
 	}
 	h.addUsed(h.swapTier, ps)
 	p.SetTier(h.swapTier)
-	h.swapCold.PushBack(pi)
+	h.pol.PagePlaced(pi)
+	h.tracker.PageIn(pi)
 }
 
-// OnQuantum implements machine.Manager: the PEBS thread drains the sample
-// buffer at its bounded rate and classifies each record. Records are
-// popped in batches into a reusable scratch slice so the per-sample path
-// involves no allocation and no indirect call.
+// OnQuantum implements machine.Manager: one quantum of tracker
+// observation work (for PEBS, draining the sample buffer at its bounded
+// rate and classifying each record through the policy).
 func (h *HeMem) OnQuantum(now, dt int64) {
-	if h.recScratch == nil {
-		h.recScratch = make([]pebs.Record, 1024)
-	}
-	grant := dt
-	for {
-		n := h.reader.DrainBatch(h.buffer, grant, h.recScratch)
-		grant = 0
-		h.onSampleBatch(h.recScratch[:n])
-		if n < len(h.recScratch) {
-			break
-		}
-	}
-	h.reader.Settle(dt)
-}
-
-// onSampleBatch classifies a drained batch of records. The page-info
-// table lookup and unmanaged-page filter are inlined here so the batch
-// loop amortizes the bounds/nil checks instead of paying a call and a
-// table re-load per record.
-func (h *HeMem) onSampleBatch(recs []pebs.Record) {
-	pages := h.pages
-	for i := range recs {
-		rec := &recs[i]
-		if int(rec.Page) >= len(pages) {
-			continue // unmanaged page
-		}
-		pi := pages[rec.Page]
-		if pi == nil {
-			continue // unmanaged page
-		}
-		h.classifySample(pi, rec.Kind)
-	}
+	h.tracker.Poll(now, dt)
 }
 
 // ActiveThreads implements machine.Manager.
 func (h *HeMem) ActiveThreads() float64 { return h.cfg.BackgroundThreads }
-
-// classifySample is the per-record classifier (§3.1): lazy cooling,
-// counter update, hot/cold list movement, write-heavy promotion, and
-// cooling-clock advancement. The caller (onSampleBatch) has already
-// resolved the record's PageInfo and filtered unmanaged pages.
-func (h *HeMem) classifySample(pi *PageInfo, kind pebs.Kind) {
-	h.stats.Samples++
-
-	if !h.cfg.NoCooling && pi.CoolClock != h.clock {
-		h.cool(pi)
-	}
-
-	if kind == pebs.Store {
-		pi.Writes++
-	} else {
-		pi.Reads++
-	}
-
-	// Advance the global cooling clock when any page accumulates the
-	// cooling threshold of samples; other pages cool lazily when next
-	// sampled (§3.1).
-	if !h.cfg.NoCooling && pi.Reads+pi.Writes >= h.cfg.CoolThreshold {
-		h.clock++
-		h.stats.CoolEpochs++
-		h.cool(pi)
-	}
-
-	h.classify(pi)
-}
-
-// cool halves the page's counters once per elapsed cooling epoch and
-// refreshes its write-heavy status. A write-heavy page that cools below
-// the write threshold gets a second chance on the plain hot list (§3.3).
-func (h *HeMem) cool(pi *PageInfo) {
-	epochs := h.clock - pi.CoolClock
-	if epochs > 30 {
-		epochs = 30
-	}
-	pi.Reads >>= epochs
-	pi.Writes >>= epochs
-	pi.CoolClock = h.clock
-	if pi.WriteHeavy && pi.Writes < h.cfg.HotWriteThreshold {
-		pi.WriteHeavy = false
-		if h.isHot(pi) && pi.list != nil {
-			// Second chance: back of the hot list for its tier.
-			h.hotList(pi.Page.Tier).PushBack(pi)
-		}
-	}
-	if !h.isHot(pi) && pi.list != nil && h.inHotList(pi) {
-		h.coldList(pi.Page.Tier).PushBack(pi)
-	}
-}
-
-// isHot reports whether the page's counters meet a hot threshold.
-func (h *HeMem) isHot(pi *PageInfo) bool {
-	return pi.Reads >= h.cfg.HotReadThreshold || pi.Writes >= h.cfg.HotWriteThreshold
-}
 
 // inHotList reports whether pi currently sits on a hot list.
 func (h *HeMem) inHotList(pi *PageInfo) bool {
@@ -759,42 +726,11 @@ func (h *HeMem) coldList(t vm.Tier) *List {
 	return &h.cold[len(h.cold)-1]
 }
 
-// classify moves the page onto the right list after a counter update.
-func (h *HeMem) classify(pi *PageInfo) {
-	if pi.list == nil {
-		return // in flight; re-listed on migration completion
-	}
-	writeHeavy := !h.cfg.NoWritePriority && pi.Writes >= h.cfg.HotWriteThreshold
-	if writeHeavy && !pi.WriteHeavy {
-		pi.WriteHeavy = true
-		h.hotList(pi.Page.Tier).PushFront(pi)
-		return
-	}
-	if h.isHot(pi) && !h.inHotList(pi) {
-		if pi.WriteHeavy {
-			h.hotList(pi.Page.Tier).PushFront(pi)
-		} else {
-			h.hotList(pi.Page.Tier).PushBack(pi)
-		}
-	}
-}
-
-// policy is the migration tick (§3.3), generalized down the tier chain:
-// keep each tier's free watermark by demoting its coldest pages to the
-// next slower tier, run the optional swap layer between the slowest
-// migratable tier and the swap device, then promote hot pages up every
-// link — write-heavy first — exchanging against cold pages when the
-// faster tier is full. If a tier has neither free space nor cold pages,
-// its hot set exceeds capacity and migration across that link stops.
-// The loops walk the online chain positions (activePositions), so an
-// offline tier drops out of every link and its neighbours pair up
-// directly; with nothing offline the walk is the identity 0..last and
-// the policy behaves exactly as the fixed-neighbour version did.
-func (h *HeMem) policy() {
-	if h.cfg.AdaptiveSampling {
-		h.adaptSampling()
-	}
-	ps := h.m.Cfg.PageSize
+// tick is the policy-interval timer body: tracker housekeeping, the
+// shared budget/backlog/evacuation preamble, then the active policy's
+// migration decisions.
+func (h *HeMem) tick(now int64) {
+	h.tracker.Tick(now)
 	budget := int64(h.cfg.MigRateCap * float64(h.cfg.PolicyInterval))
 	// Keep the queue bounded: don't outrun the migrator.
 	if backlog := int64(h.m.Migrator.QueuedBytes()); backlog >= budget {
@@ -809,6 +745,24 @@ func (h *HeMem) policy() {
 	if h.cfg.NoMigration {
 		return
 	}
+	h.pol.Tick(now, budget)
+}
+
+// migrateTick is the shared migration mechanism (§3.3), generalized down
+// the tier chain: keep each tier's free watermark by demoting its
+// coldest pages to the next slower tier, run the optional swap layer
+// between the slowest migratable tier and the swap device, then promote
+// hot pages up every link — write-heavy first — exchanging against cold
+// pages when the faster tier is full. If a tier has neither free space
+// nor cold pages, its hot set exceeds capacity and migration across that
+// link stops. Policies call it from Tick once their hot/cold queues
+// reflect the latest classification.
+// The loops walk the online chain positions (activePositions), so an
+// offline tier drops out of every link and its neighbours pair up
+// directly; with nothing offline the walk is the identity 0..last and
+// the loops behave exactly as the fixed-neighbour version did.
+func (h *HeMem) migrateTick(budget int64) {
+	ps := h.m.Cfg.PageSize
 	act := h.activePositions()
 	lastA := len(act) - 1
 
@@ -868,42 +822,6 @@ func (h *HeMem) policy() {
 			budget -= 2 * ps
 		}
 	}
-}
-
-// adaptSampling raises the PEBS sample period when the buffer overruns
-// persistently: each policy tick inspects the drop fraction of the records
-// offered since the last tick, and after OverrunPatience consecutive
-// overrunning ticks the period doubles, up to MaxSamplePeriod. Trading
-// sample resolution for a sustainable inflow keeps the reader tracking the
-// hot set instead of losing a bursty, biased slice of it to buffer
-// overruns (the Figure 10 regime).
-func (h *HeMem) adaptSampling() {
-	pushed, dropped := h.buffer.Pushed(), h.buffer.Dropped()
-	dp, dd := pushed-h.lastPushed, dropped-h.lastDropped
-	h.lastPushed, h.lastDropped = pushed, dropped
-	total := dp + dd
-	if total == 0 {
-		return
-	}
-	if float64(dd)/float64(total) <= h.cfg.OverrunDropThreshold {
-		h.overrunStreak = 0
-		return
-	}
-	h.overrunStreak++
-	if h.overrunStreak < h.cfg.OverrunPatience {
-		return
-	}
-	h.overrunStreak = 0
-	if h.sampler.Period >= h.cfg.MaxSamplePeriod {
-		return
-	}
-	p := h.sampler.Period * 2
-	if p > h.cfg.MaxSamplePeriod {
-		p = h.cfg.MaxSamplePeriod
-	}
-	h.sampler.Period = p
-	h.stats.PeriodRaises++
-	h.m.FaultCounters().SamplePeriodRaises++
 }
 
 // free returns uncommitted bytes at chain position i.
@@ -1013,22 +931,14 @@ func (h *HeMem) demote(pi *PageInfo, dst vm.Tier) {
 	}
 }
 
-// OnMigrated implements machine.MigrationObserver: place the landed page
-// on the list matching its (possibly cooled) state.
+// OnMigrated implements machine.MigrationObserver: the policy places the
+// landed page on the list matching its (possibly cooled) state.
 func (h *HeMem) OnMigrated(p *vm.Page) {
 	pi := h.info(p.ID)
 	if pi == nil {
 		return
 	}
-	if h.isHot(pi) {
-		if pi.WriteHeavy {
-			h.hotList(p.Tier).PushFront(pi)
-		} else {
-			h.hotList(p.Tier).PushBack(pi)
-		}
-	} else {
-		h.coldList(p.Tier).PushBack(pi)
-	}
+	h.pol.OnMigrated(pi)
 }
 
 // OnMigrationFailed implements machine.MigrationFailureObserver: a
@@ -1041,11 +951,7 @@ func (h *HeMem) OnMigrationFailed(p *vm.Page, dst vm.Tier) {
 	if pi == nil {
 		return
 	}
-	if h.isHot(pi) {
-		h.hotList(p.Tier).PushBack(pi)
-	} else {
-		h.coldList(p.Tier).PushBack(pi)
-	}
+	h.pol.Requeue(pi)
 }
 
 // OnNVMUncorrectable implements machine.FaultHandler: a page whose frame
@@ -1083,11 +989,7 @@ func (h *HeMem) OnNVMUncorrectable(p *vm.Page) {
 		h.m.FaultCounters().EmergencyPromotions++
 		return
 	}
-	if h.isHot(pi) {
-		h.hotList(p.Tier).PushBack(pi)
-	} else {
-		h.coldList(p.Tier).PushBack(pi)
-	}
+	h.pol.Requeue(pi)
 }
 
 // HotBytes returns the bytes currently on the hot list of tier t.

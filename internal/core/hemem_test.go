@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"strings"
 	"testing"
 
 	"github.com/tieredmem/hemem/internal/core"
@@ -271,6 +272,79 @@ func TestPartialConfigKeepsCallerFields(t *testing.T) {
 	}
 	if abl.SamplePeriod != 2500 || abl.HotReadThreshold != def.HotReadThreshold {
 		t.Errorf("ablation config misdefaulted: %+v", abl)
+	}
+}
+
+// The tracker/policy selection knobs ride the same field-by-field
+// defaulting: a partial Config that sets only Tracker must not zero the
+// cooling/threshold defaults, and each unset selection string defaults
+// independently of the others.
+func TestTrackerPolicyConfigDefaulting(t *testing.T) {
+	def := core.DefaultConfig()
+	if def.Tracker != "pebs" || def.Policy != "hemem" || def.HeatForecaster != "ema" {
+		t.Fatalf("paper-default selections changed: %+v", def)
+	}
+
+	got := core.New(core.Config{Tracker: "damon"}).Config()
+	if got.Tracker != "damon" {
+		t.Errorf("Tracker = %q, want caller's damon", got.Tracker)
+	}
+	if got.Policy != def.Policy || got.HeatForecaster != def.HeatForecaster {
+		t.Errorf("unset selections misdefaulted: policy=%q forecaster=%q", got.Policy, got.HeatForecaster)
+	}
+	if got.CoolThreshold != def.CoolThreshold || got.HotReadThreshold != def.HotReadThreshold ||
+		got.HotWriteThreshold != def.HotWriteThreshold || got.PolicyInterval != def.PolicyInterval ||
+		got.SamplePeriod != def.SamplePeriod || got.MigRateCap != def.MigRateCap ||
+		got.FreeDRAMTarget != def.FreeDRAMTarget {
+		t.Errorf("Config{Tracker: damon} zeroed unrelated defaults: %+v", got)
+	}
+
+	got = core.New(core.Config{Policy: "heat", HeatForecaster: "trend"}).Config()
+	if got.Policy != "heat" || got.HeatForecaster != "trend" {
+		t.Errorf("caller's policy/forecaster lost: %+v", got)
+	}
+	if got.Tracker != def.Tracker {
+		t.Errorf("Tracker = %q, want default %q", got.Tracker, def.Tracker)
+	}
+	if got.CoolThreshold != def.CoolThreshold || got.HotReadThreshold != def.HotReadThreshold {
+		t.Errorf("Config{Policy: heat} zeroed threshold defaults: %+v", got)
+	}
+
+	// And the selections compose with an unrelated caller field.
+	got = core.New(core.Config{Tracker: "idlepage", MigRateCap: sim.GBps(3)}).Config()
+	if got.Tracker != "idlepage" || got.MigRateCap != sim.GBps(3) || got.Policy != def.Policy {
+		t.Errorf("mixed partial config misdefaulted: %+v", got)
+	}
+}
+
+// Validate rejects unknown tracker/policy/forecaster names with an error
+// listing what is registered; empty strings stay valid (New defaults
+// them).
+func TestValidateUnknownTrackerPolicy(t *testing.T) {
+	if err := (core.Config{}).Validate(); err != nil {
+		t.Fatalf("zero config: %v", err)
+	}
+	ok := core.Config{Tracker: "damon", Policy: "heat", HeatForecaster: "trend"}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("registered names rejected: %v", err)
+	}
+	cases := []struct {
+		cfg  core.Config
+		want string
+	}{
+		{core.Config{Tracker: "nope"}, "unknown tracker"},
+		{core.Config{Policy: "nope"}, "unknown policy"},
+		{core.Config{HeatForecaster: "nope"}, "unknown heat forecaster"},
+	}
+	for _, tc := range cases {
+		err := tc.cfg.Validate()
+		if err == nil {
+			t.Errorf("%+v: Validate accepted unknown name", tc.cfg)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) || !strings.Contains(err.Error(), "registered:") {
+			t.Errorf("%+v: error %q should say %q and list registered names", tc.cfg, err, tc.want)
+		}
 	}
 }
 

@@ -1,0 +1,228 @@
+// Tracker: the access-observation half of the engine. HeMem's original
+// design hard-wired PEBS sampling into the manager; the Tracker interface
+// breaks that monopoly so rival observation mechanisms — a DAMON-style
+// adaptive region sampler, an idlepage/soft-dirty page-table scanner —
+// can drive the very same policies on equal footing (the comparison the
+// PEBS-applicability and HM-Keeper papers call for). Implementations
+// register themselves by name, mirroring mem.RegisterModel, and are
+// selected with Config.Tracker.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/tieredmem/hemem/internal/pebs"
+)
+
+// Tracker observes memory accesses on behalf of the engine and feeds
+// per-quantum observation batches to the active Policy through
+// HeMem.Observe. Implementations are registered with RegisterTracker and
+// selected by Config.Tracker.
+type Tracker interface {
+	// Name identifies the tracker in reports and -list output.
+	Name() string
+	// Attach wires the tracker to its host engine; called once from
+	// HeMem.Attach, after the tier chain is initialized.
+	Attach(h *HeMem)
+	// PageIn is called when a managed page enters tracking (first touch
+	// or growth adoption), after the page is placed and queued.
+	PageIn(pi *PageInfo)
+	// PageOut is called when a managed page leaves tracking (region
+	// release), before its state is dropped.
+	PageOut(pi *PageInfo)
+	// Poll runs one quantum of observation work (draining sample
+	// buffers, sampling regions, completing scan passes), delivering
+	// observations via HeMem.Observe.
+	Poll(now, dt int64)
+	// Tick runs once per policy interval, before migration decisions
+	// (e.g. PEBS adaptive-sampling period control).
+	Tick(now int64)
+}
+
+// TrackerFactory builds a tracker from the engine configuration.
+type TrackerFactory func(cfg Config) Tracker
+
+var trackerRegistry = map[string]TrackerFactory{}
+
+// RegisterTracker installs a tracker factory under name, making it
+// selectable via Config.Tracker. Registering a duplicate name panics,
+// like mem.RegisterModel.
+func RegisterTracker(name string, f TrackerFactory) {
+	if _, dup := trackerRegistry[name]; dup {
+		panic("core: duplicate tracker " + name)
+	}
+	trackerRegistry[name] = f
+}
+
+// TrackerNames returns every registered tracker name, sorted.
+func TrackerNames() []string {
+	out := make([]string, 0, len(trackerRegistry))
+	for n := range trackerRegistry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// newTracker resolves cfg.Tracker (already defaulted) in the registry.
+func newTracker(cfg Config) Tracker {
+	f, ok := trackerRegistry[cfg.Tracker]
+	if !ok {
+		panic(fmt.Sprintf("core: unknown tracker %q (registered: %s)",
+			cfg.Tracker, strings.Join(TrackerNames(), ", ")))
+	}
+	return f(cfg)
+}
+
+func init() {
+	RegisterTracker("pebs", func(cfg Config) Tracker { return newPEBSTracker(cfg) })
+}
+
+// pebsTracker is the paper's observation mechanism (§3.1): the CPU writes
+// a sample record per SamplePeriod accesses into a fixed buffer, and a
+// dedicated reader thread drains it at a bounded rate. It preserves both
+// Figure 10 failure modes — buffer overruns at low periods, starvation at
+// high ones — and owns the adaptive-sampling response to overruns.
+type pebsTracker struct {
+	h       *HeMem
+	buffer  *pebs.Buffer
+	sampler *pebs.Sampler
+	reader  *pebs.Reader
+
+	// recScratch is the reusable record batch the reader drains into
+	// each quantum.
+	recScratch []pebs.Record
+
+	// Adaptive-sampling state: buffer counters at the last policy tick
+	// and the current run of overrunning ticks.
+	lastPushed    uint64
+	lastDropped   uint64
+	overrunStreak int
+}
+
+// newPEBSTracker builds the sampler/buffer/reader pipeline from an
+// already-defaulted config.
+func newPEBSTracker(cfg Config) *pebsTracker {
+	t := &pebsTracker{}
+	var err error
+	if t.buffer, err = pebs.NewBuffer(cfg.PEBSBufferCap); err == nil {
+		if t.sampler, err = pebs.NewSampler(cfg.SamplePeriod, t.buffer); err == nil {
+			t.reader, err = pebs.NewReader(cfg.ReaderRate)
+		}
+	}
+	if err != nil {
+		// Internal invariant: New normalized the fields to positive
+		// values before constructing the tracker.
+		panic("core: " + err.Error())
+	}
+	return t
+}
+
+// Name implements Tracker.
+func (t *pebsTracker) Name() string { return "pebs" }
+
+// Attach implements Tracker.
+func (t *pebsTracker) Attach(h *HeMem) { t.h = h }
+
+// PageIn implements Tracker: PEBS needs no per-page setup — samples
+// arrive tagged with the page they hit.
+func (t *pebsTracker) PageIn(pi *PageInfo) {}
+
+// PageOut implements Tracker: stale records for a released page are
+// filtered by the engine's page table on drain.
+func (t *pebsTracker) PageOut(pi *PageInfo) {}
+
+// Sampler implements the optional sampler source consulted by
+// HeMem.Sampler (machine.SampleSource): the machine feeds this sampler
+// from the traffic streams each quantum.
+func (t *pebsTracker) Sampler() *pebs.Sampler { return t.sampler }
+
+// Buffer exposes the sample buffer (drop statistics for Figure 10).
+func (t *pebsTracker) Buffer() *pebs.Buffer { return t.buffer }
+
+// Poll implements Tracker: the PEBS thread drains the sample buffer at
+// its bounded rate and hands each record to the policy. Records are
+// popped in batches into a reusable scratch slice so the per-sample path
+// involves no allocation.
+func (t *pebsTracker) Poll(now, dt int64) {
+	if t.recScratch == nil {
+		t.recScratch = make([]pebs.Record, 1024)
+	}
+	grant := dt
+	for {
+		n := t.reader.DrainBatch(t.buffer, grant, t.recScratch)
+		grant = 0
+		t.observeBatch(t.recScratch[:n])
+		if n < len(t.recScratch) {
+			break
+		}
+	}
+	t.reader.Settle(dt)
+}
+
+// observeBatch classifies a drained batch of records. The page-info
+// table lookup and unmanaged-page filter are inlined here so the batch
+// loop amortizes the bounds/nil checks instead of paying a call and a
+// table re-load per record.
+func (t *pebsTracker) observeBatch(recs []pebs.Record) {
+	pages := t.h.pages
+	pol := t.h.pol
+	for i := range recs {
+		rec := &recs[i]
+		if int(rec.Page) >= len(pages) {
+			continue // unmanaged page
+		}
+		pi := pages[rec.Page]
+		if pi == nil {
+			continue // unmanaged page
+		}
+		pol.Observe(pi, rec.Kind == pebs.Store, 1)
+	}
+}
+
+// Tick implements Tracker: adaptive sample-period control, run at the
+// top of every policy interval when Config.AdaptiveSampling is set.
+func (t *pebsTracker) Tick(now int64) {
+	if t.h.cfg.AdaptiveSampling {
+		t.adaptSampling()
+	}
+}
+
+// adaptSampling raises the PEBS sample period when the buffer overruns
+// persistently: each policy tick inspects the drop fraction of the records
+// offered since the last tick, and after OverrunPatience consecutive
+// overrunning ticks the period doubles, up to MaxSamplePeriod. Trading
+// sample resolution for a sustainable inflow keeps the reader tracking the
+// hot set instead of losing a bursty, biased slice of it to buffer
+// overruns (the Figure 10 regime).
+func (t *pebsTracker) adaptSampling() {
+	h := t.h
+	pushed, dropped := t.buffer.Pushed(), t.buffer.Dropped()
+	dp, dd := pushed-t.lastPushed, dropped-t.lastDropped
+	t.lastPushed, t.lastDropped = pushed, dropped
+	total := dp + dd
+	if total == 0 {
+		return
+	}
+	if float64(dd)/float64(total) <= h.cfg.OverrunDropThreshold {
+		t.overrunStreak = 0
+		return
+	}
+	t.overrunStreak++
+	if t.overrunStreak < h.cfg.OverrunPatience {
+		return
+	}
+	t.overrunStreak = 0
+	if t.sampler.Period >= h.cfg.MaxSamplePeriod {
+		return
+	}
+	p := t.sampler.Period * 2
+	if p > h.cfg.MaxSamplePeriod {
+		p = h.cfg.MaxSamplePeriod
+	}
+	t.sampler.Period = p
+	h.stats.PeriodRaises++
+	h.m.FaultCounters().SamplePeriodRaises++
+}

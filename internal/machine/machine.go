@@ -878,8 +878,14 @@ func (m *Machine) Step(dt int64) {
 		}
 	}
 
-	// Commit: ops, wear, PEBS, access integrals.
-	ss, _ := m.Mgr.(SampleSource)
+	// Commit: ops, wear, PEBS, access integrals. The sampler is resolved
+	// once up front: a manager may implement SampleSource yet report no
+	// sampler (a scan- or region-based tracker is active), which must
+	// disable sample feeding rather than dereference nil per component.
+	var sampler *pebs.Sampler
+	if ss, ok := m.Mgr.(SampleSource); ok {
+		sampler = ss.Sampler()
+	}
 	obsComps := m.obsComps[:0]
 	obsRates := m.obsRates[:0]
 	obs, observing := m.Mgr.(TrafficObserver)
@@ -919,8 +925,8 @@ func (m *Machine) Step(dt int64) {
 				r.WriteRate = per / float64(dt)
 			}
 			// PEBS sampling.
-			if ss != nil {
-				m.feedSamples(ss.Sampler(), c, occ)
+			if sampler != nil {
+				m.feedSamples(sampler, c, occ)
 			}
 		}
 	}

@@ -119,10 +119,11 @@ func (t *Telemetry) sample(m *Machine, now int64, stallFrac float64) {
 	}
 	dt := float64(now - t.last)
 	t.last = now
-	// Series names come from the tier table (lowercased tier names):
-	// "dram", "nvm", "disk" on the classic testbed.
+	// Series names come from the tier table (lowercased tier names), not
+	// a fixed set: whatever tiers the machine declares get bandwidth
+	// series. BandwidthSeriesNames enumerates them.
 	for d := Dev(0); d < Dev(m.NumDevs()); d++ {
-		name := strings.ToLower(m.TierAt(d).String())
+		name := m.tierSeriesPrefix(d)
 		w := m.Device(d).Wear()
 		prev := t.lastWear[d]
 		t.lastWear[d] = w
@@ -131,6 +132,16 @@ func (t *Telemetry) sample(m *Machine, now int64, stallFrac float64) {
 	}
 	t.get("migration.queue.pages").Append(now, float64(m.Migrator.QueueLen()))
 	t.get("migration.total.gb").Append(now, m.Migrator.Stats().Bytes/float64(sim.GB))
+	// Per-edge migration traffic: one lazy series per traversed edge of
+	// the migration graph, named from the tier table. Lazy keeps CSVs of
+	// migration-free runs (and all pre-existing recordings) byte-stable.
+	for _, sd := range m.Cfg.Tiers {
+		for _, dd := range m.Cfg.Tiers {
+			if n := m.Migrator.Moved(sd.ID, dd.ID); n > 0 {
+				t.get("migration."+edgeName(sd.ID, dd.ID)+".pages").Append(now, float64(n))
+			}
+		}
+	}
 	t.get("stall.frac").Append(now, stallFrac)
 	for _, wm := range m.wmeta {
 		t.get("workload."+wm.w.Name()+".ops").Append(now, wm.totalOps)
@@ -184,9 +195,39 @@ func edgeName(src, dst vm.TierID) string {
 	return strings.ToLower(src.String()) + "-" + strings.ToLower(dst.String())
 }
 
-// Series returns the named series, or nil (names:
-// {dram,nvm,disk}.{read,write}.gbps, migration.queue.pages,
-// migration.total.gb, stall.frac, plus workload.<name>.ops per workload).
+// tierSeriesPrefix is the telemetry name prefix for device d's tier: the
+// lowercased tier-table name ("dram", "cxl", "nvm", "disk", ...).
+func (m *Machine) tierSeriesPrefix(d Dev) string {
+	return strings.ToLower(m.TierAt(d).String())
+}
+
+// BandwidthSeriesNames enumerates the per-tier bandwidth series the
+// machine's telemetry records: "<tier>.read.gbps" and "<tier>.write.gbps"
+// for every device-backed tier in the tier table, in device order. The
+// names derive from the table — a DRAM+CXL+NVM+disk machine records
+// eight, not the classic testbed's six.
+func (m *Machine) BandwidthSeriesNames() []string {
+	out := make([]string, 0, 2*m.NumDevs())
+	for d := Dev(0); d < Dev(m.NumDevs()); d++ {
+		p := m.tierSeriesPrefix(d)
+		out = append(out, p+".read.gbps", p+".write.gbps")
+	}
+	return out
+}
+
+// Series returns the named series, or nil. Names derive from the
+// machine's tier table rather than a fixed tier set:
+//
+//	<tier>.{read,write}.gbps      per device-backed tier (lowercased
+//	                              tier-table name; see
+//	                              Machine.BandwidthSeriesNames)
+//	migration.<src>-<dst>.pages   per traversed migration-graph edge
+//	                              (lazy: appears once the edge moves a page)
+//	migration.queue.pages         migration backlog
+//	migration.total.gb            cumulative migrated bytes
+//	stall.frac                    TLB/fault stall fraction
+//	workload.<name>.ops           cumulative ops per workload
+//	fault.*                       only while fault injection is enabled
 func (t *Telemetry) Series(name string) *sim.Series { return t.series[name] }
 
 // Names returns all recorded series names, sorted.
@@ -232,12 +273,30 @@ func (t *Telemetry) WriteCSV(w io.Writer) error {
 			uniq = append(uniq, ts)
 		}
 	}
+	// One merge cursor per series: row timestamps are ascending, so each
+	// column's value comes from advancing its cursor monotonically —
+	// O(rows·series + Σ points) overall, where a binary search per cell
+	// (Series.At) would cost an extra log factor on every cell. The value
+	// emitted is At's: the one at the greatest recorded time ≤ ts, 0
+	// before the series starts.
+	cols := make([]*sim.Series, len(names))
+	for i, n := range names {
+		cols[i] = t.series[n]
+	}
+	cur := make([]int, len(names))
 	for _, ts := range uniq {
 		if _, err := fmt.Fprintf(w, "%.3f", float64(ts)/1e9); err != nil {
 			return err
 		}
-		for _, n := range names {
-			if _, err := fmt.Fprintf(w, ",%.6g", t.series[n].At(ts)); err != nil {
+		for i, s := range cols {
+			for cur[i] < len(s.Times) && s.Times[cur[i]] <= ts {
+				cur[i]++
+			}
+			v := 0.0
+			if cur[i] > 0 {
+				v = s.Values[cur[i]-1]
+			}
+			if _, err := fmt.Fprintf(w, ",%.6g", v); err != nil {
 				return err
 			}
 		}

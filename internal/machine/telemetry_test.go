@@ -1,6 +1,9 @@
 package machine
 
 import (
+	"fmt"
+	"io"
+	"sort"
 	"strings"
 	"testing"
 
@@ -66,6 +69,159 @@ func TestWriteCSVAlignsLateSeries(t *testing.T) {
 			t.Errorf("row %d = %q, want %q", i, lines[i+1], w)
 		}
 	}
+}
+
+// Telemetry series names derive from the machine's tier table, not the
+// classic {dram,nvm,disk} set the old Series doc promised: every
+// device-backed tier gets its bandwidth pair, and every traversed
+// migration-graph edge gets its lazy per-edge series.
+func TestTelemetrySeriesCoverTierTable(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Tiers = []TierDesc{
+		{ID: vm.TierDRAM, Capacity: 4 * sim.GB},
+		{ID: vm.TierCXL, Capacity: 8 * sim.GB},
+		{ID: vm.TierNVM, Capacity: 64 * sim.GB, UEVictim: true},
+		{ID: vm.TierDisk, Capacity: 256 * sim.GB, Swap: true},
+	}
+	m := New(cfg, nopManager{})
+	tel := m.EnableTelemetry(100 * sim.Millisecond)
+	r := m.AS.Map("w1-data", 1*sim.GB)
+	m.AddWorkload(&fixedWorkload{name: "w1", comp: []Component{
+		{Set: r.AsSet(), Share: 1, ReadBytes: 64},
+	}})
+	m.Warm()
+	m.Run(1 * sim.Second)
+
+	// Drive one migration over each link of the DRAM→CXL→NVM chain and
+	// one promotion back, so both directions of every edge traverse.
+	p := r.Pages[0]
+	for _, dst := range []vm.Tier{vm.TierCXL, vm.TierNVM, vm.TierCXL, vm.TierDRAM} {
+		if !m.Migrator.Enqueue(p, dst) {
+			t.Fatalf("Enqueue(%v) refused", dst)
+		}
+		m.Run(1 * sim.Second)
+		if got := p.Tier; got != dst {
+			t.Fatalf("page on %v, want %v", got, dst)
+		}
+	}
+
+	names := make(map[string]bool)
+	for _, n := range tel.Names() {
+		names[n] = true
+	}
+	// Every device-backed tier — including CXL, which the stale doc's
+	// fixed set omitted — emits its bandwidth pair.
+	want := m.BandwidthSeriesNames()
+	if len(want) != 2*len(cfg.Tiers) {
+		t.Fatalf("BandwidthSeriesNames = %v, want 2 per tier", want)
+	}
+	for _, n := range want {
+		if !names[n] {
+			t.Errorf("missing bandwidth series %q (have %v)", n, tel.Names())
+		}
+	}
+	// Every traversed migration edge emits its per-edge series; untouched
+	// edges stay absent (laziness keeps old CSV column sets stable).
+	for _, sd := range cfg.Tiers {
+		for _, dd := range cfg.Tiers {
+			name := "migration." + edgeName(sd.ID, dd.ID) + ".pages"
+			if m.Migrator.Moved(sd.ID, dd.ID) > 0 {
+				if !names[name] {
+					t.Errorf("edge %s moved pages but series %q missing", edgeName(sd.ID, dd.ID), name)
+				}
+			} else if names[name] {
+				t.Errorf("series %q exists but edge never moved a page", name)
+			}
+		}
+	}
+	for _, edge := range [][2]vm.Tier{
+		{vm.TierDRAM, vm.TierCXL}, {vm.TierCXL, vm.TierNVM},
+		{vm.TierNVM, vm.TierCXL}, {vm.TierCXL, vm.TierDRAM},
+	} {
+		if m.Migrator.Moved(edge[0], edge[1]) == 0 {
+			t.Errorf("edge %s never traversed; test drove it", edgeName(edge[0], edge[1]))
+		}
+	}
+}
+
+// refWriteCSV is the pre-merge-cursor writer — a binary search per cell
+// via Series.At — kept verbatim as the byte-identity reference for the
+// cursor-based WriteCSV.
+func refWriteCSV(t *Telemetry, w io.Writer) {
+	names := t.Names()
+	if len(names) == 0 {
+		return
+	}
+	fmt.Fprint(w, "t_seconds")
+	for _, n := range names {
+		fmt.Fprintf(w, ",%s", n)
+	}
+	fmt.Fprintln(w)
+	var times []int64
+	for _, n := range names {
+		times = append(times, t.series[n].Times...)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	uniq := times[:0]
+	for i, ts := range times {
+		if i == 0 || ts != times[i-1] {
+			uniq = append(uniq, ts)
+		}
+	}
+	for _, ts := range uniq {
+		fmt.Fprintf(w, "%.3f", float64(ts)/1e9)
+		for _, n := range names {
+			fmt.Fprintf(w, ",%.6g", t.series[n].At(ts))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// The merge-cursor WriteCSV is byte-identical to the binary-search
+// reference, on a synthetic recording with staggered and gappy series and
+// on a real machine run.
+func TestWriteCSVMatchesBinarySearchReference(t *testing.T) {
+	check := func(name string, tel *Telemetry) {
+		t.Helper()
+		var got, want strings.Builder
+		if err := tel.WriteCSV(&got); err != nil {
+			t.Fatalf("%s: WriteCSV: %v", name, err)
+		}
+		refWriteCSV(tel, &want)
+		if got.String() != want.String() {
+			t.Errorf("%s: cursor writer diverges from reference\ngot:\n%s\nwant:\n%s",
+				name, got.String(), want.String())
+		}
+	}
+
+	// Synthetic: series starting late, ending early, sampling on their
+	// own cadences, and sharing only some timestamps.
+	syn := &Telemetry{series: make(map[string]*sim.Series)}
+	syn.get("early").Append(100, 1)
+	syn.get("early").Append(200, 2)
+	syn.get("late").Append(250, 10)
+	syn.get("late").Append(400, 11)
+	syn.get("sparse").Append(100, 5)
+	syn.get("sparse").Append(400, 6)
+	syn.get("dense").Append(100, 1)
+	syn.get("dense").Append(150, 2)
+	syn.get("dense").Append(200, 3)
+	syn.get("dense").Append(250, 4)
+	check("synthetic", syn)
+
+	// Recorded run: a real machine with lazily created series (workload
+	// ops, per-edge migration) layered over the fixed-cadence ones.
+	m := New(DefaultConfig(), nopManager{})
+	tel := m.EnableTelemetry(100 * sim.Millisecond)
+	r := m.AS.Map("w1-data", 1*sim.GB)
+	m.AddWorkload(&fixedWorkload{name: "w1", comp: []Component{
+		{Set: r.AsSet(), Share: 1, ReadBytes: 64},
+	}})
+	m.Warm()
+	m.Run(1 * sim.Second)
+	m.Migrator.Enqueue(r.Pages[0], vm.TierNVM)
+	m.Run(1 * sim.Second)
+	check("recorded", tel)
 }
 
 // Telemetry records the per-workload cumulative ops series the Series

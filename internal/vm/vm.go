@@ -144,6 +144,21 @@ type Page struct {
 	setsOv     []*PageSet
 }
 
+// EachSet calls f for every page set this page belongs to, without
+// allocating — the accessor for hot paths (e.g. per-page scan and
+// region-sampling loops) that InSets is too expensive for.
+func (p *Page) EachSet(f func(*PageSet)) {
+	if p.set0 != nil {
+		f(p.set0)
+	}
+	if p.set1 != nil {
+		f(p.set1)
+	}
+	for _, s := range p.setsOv {
+		f(s)
+	}
+}
+
 // InSets returns the page sets this page belongs to. The slice is freshly
 // allocated; hot paths should not call this.
 func (p *Page) InSets() []*PageSet {
