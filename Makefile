@@ -2,7 +2,7 @@
 # build, and the test suite under the race detector.
 
 GO ?= go
-BENCH_OUT ?= BENCH_pr5.json
+BENCH_OUT ?= BENCH_pr8.json
 
 .PHONY: check vet build test race bench soak
 

@@ -21,6 +21,12 @@
 //	hemem-bench -exp chaos -audit  run with the runtime invariant
 //	                               auditor checking conservation
 //	                               invariants every quantum
+//	hemem-bench -exp tbscale -adaptive
+//	                               run on the event-driven adaptive-
+//	                               quantum loop (refused for experiments
+//	                               whose goldens pin the fixed schedule)
+//	hemem-bench -exp tiers -quantum 500us
+//	                               override the fixed step quantum
 //	hemem-bench -exp fig5 -cpuprofile cpu.pprof -memprofile mem.pprof
 //	                               write pprof profiles of the run
 package main
@@ -39,6 +45,26 @@ import (
 	"github.com/tieredmem/hemem/internal/machine"
 )
 
+// goldenPinned lists the experiments whose output is captured byte for
+// byte under the default fixed-quantum schedule — golden files in
+// internal/bench/testdata plus the chaos episode log — so -adaptive is
+// refused for them (it could only produce a spurious diff).
+var goldenPinned = map[string]bool{
+	"fig1": true, "fig2": true, "fig3": true, "fig8": true,
+	"tab1": true, "tab2": true, "ext-swap": true, "chaos": true,
+}
+
+// flagSet reports whether the named flag was given explicitly.
+func flagSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
 func main() {
 	var (
 		exp        = flag.String("exp", "", "experiment id (or 'all')")
@@ -50,6 +76,8 @@ func main() {
 		tracker    = flag.String("tracker", "", "restrict the trackers experiment to one registered tracker")
 		policy     = flag.String("policy", "", "restrict the trackers experiment to one registered policy")
 		audit      = flag.Bool("audit", false, "run the invariant auditor every quantum on every machine (panics with a diagnostic dump on a violation)")
+		quantum    = flag.Duration("quantum", 0, "override the machine step quantum (e.g. 500us, 2ms); 0 keeps the default 1ms")
+		adaptive   = flag.Bool("adaptive", false, "run machines on the event-driven adaptive-quantum loop (rejected for golden-pinned experiments)")
 		perf       = flag.Bool("perf", false, "run the simulator performance harness")
 		out        = flag.String("out", "", "with -perf: write the JSON report to this file (default stdout)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -89,9 +117,31 @@ func main() {
 		}()
 	}
 
-	opts := bench.Opts{Full: *full, Seed: *seed, Jobs: *jobs, Tracker: *tracker, Policy: *policy}
+	if flagSet("quantum") && *quantum <= 0 {
+		fmt.Fprintln(os.Stderr, "hemem-bench: -quantum must be a positive duration")
+		os.Exit(2)
+	}
+	opts := bench.Opts{
+		Full: *full, Seed: *seed, Jobs: *jobs, Tracker: *tracker, Policy: *policy,
+		Quantum: quantum.Nanoseconds(), Adaptive: *adaptive,
+	}
 	if *verbose {
 		opts.Progress = os.Stderr
+	}
+
+	if *adaptive {
+		// These experiments' outputs are pinned byte-for-byte to the fixed
+		// 1 ms step schedule (golden files and chaos episode logs), and the
+		// perf harness sweeps them all; -adaptive would just trip the
+		// golden comparison downstream, so refuse it up front.
+		if *perf {
+			fmt.Fprintln(os.Stderr, "hemem-bench: -adaptive cannot combine with -perf (the harness runs the golden-pinned suite; the tbscale-adaptive case covers the adaptive loop)")
+			os.Exit(2)
+		}
+		if *exp == "all" || goldenPinned[*exp] {
+			fmt.Fprintf(os.Stderr, "hemem-bench: -adaptive cannot run experiment %q: its output is pinned to the fixed step schedule (try tiers, trackers, or tbscale)\n", *exp)
+			os.Exit(2)
+		}
 	}
 
 	if *perf {

@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	perfdiff -baseline BENCH_pr5.json -current bench-ci.json [-threshold 0.20]
+//	perfdiff -baseline BENCH_pr8.json -current bench-ci.json [-threshold 0.20]
 package main
 
 import (
@@ -79,6 +79,15 @@ func main() {
 		if ratio < 1-*threshold {
 			warn("%s: sim_ns_per_sec regressed %.0f%% vs baseline (%.3g -> %.3g)",
 				c.ID, (1-ratio)*100, b.SimNSPerSec, c.SimNSPerSec)
+		}
+		// Resident metadata is deterministic accounting, not wall clock,
+		// so growth past the threshold is a real sparse-bookkeeping
+		// regression rather than runner noise.
+		if b.ResidentBytes > 0 && c.ResidentBytes > 0 {
+			if g := float64(c.ResidentBytes) / float64(b.ResidentBytes); g > 1+*threshold {
+				warn("%s: resident_bytes grew %.0f%% vs baseline (%d -> %d)",
+					c.ID, (g-1)*100, b.ResidentBytes, c.ResidentBytes)
+			}
 		}
 	}
 }

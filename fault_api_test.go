@@ -112,8 +112,8 @@ func TestGUPSWithFaultsDegradesGracefully(t *testing.T) {
 	// tier, even after aborted and abandoned migrations.
 	for _, r := range m.AS.Regions {
 		got := r.Count(hemem.TierDRAM) + r.Count(hemem.TierNVM) + r.Count(hemem.TierDisk)
-		if got != len(r.Pages) {
-			t.Fatalf("region %s lost pages: %d of %d accounted", r.Name, got, len(r.Pages))
+		if got != r.NumPages() {
+			t.Fatalf("region %s lost pages: %d of %d accounted", r.Name, got, r.NumPages())
 		}
 	}
 }

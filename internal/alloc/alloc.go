@@ -113,7 +113,9 @@ func (a *Arena) Regions() []*vm.Region { return a.regions }
 func (a *Arena) Pages() *vm.PageSet {
 	var pages []*vm.Page
 	for _, r := range a.regions {
-		pages = append(pages, r.Pages...)
+		for i, n := 0, r.NumPages(); i < n; i++ {
+			pages = append(pages, r.PageAt(i))
+		}
 	}
 	return vm.NewPageSet(a.name, pages)
 }

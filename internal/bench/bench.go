@@ -46,6 +46,25 @@ type Opts struct {
 	// ignore them.
 	Tracker string
 	Policy  string
+	// Quantum overrides the machine step quantum in sim-ns; 0 keeps the
+	// machine default (1 ms).
+	Quantum int64
+	// Adaptive runs machines on the event-driven adaptive-quantum loop.
+	// The CLI rejects it for experiments whose goldens pin the fixed
+	// step schedule.
+	Adaptive bool
+}
+
+// machineConfig is the default machine config with the run's quantum and
+// adaptive-loop overrides applied. With zero-valued overrides it is
+// machine.DefaultConfig() exactly, so default-mode output is untouched.
+func (o Opts) machineConfig() machine.Config {
+	mc := machine.DefaultConfig()
+	if o.Quantum > 0 {
+		mc.Quantum = o.Quantum
+	}
+	mc.AdaptiveQuantum = o.Adaptive
+	return mc
 }
 
 func (o Opts) seed() uint64 {
@@ -134,8 +153,8 @@ func newScanOnly() machine.Manager { return ptscan.New(ptscan.ScanOnly()) }
 
 // gupsRun builds a machine+GUPS pair, warms, runs, and returns the
 // steady-window score in GUPS.
-func gupsRun(mgr machine.Manager, cfg gups.Config, warm, measure int64) float64 {
-	m := machine.New(machine.DefaultConfig(), mgr)
+func gupsRun(o Opts, mgr machine.Manager, cfg gups.Config, warm, measure int64) float64 {
+	m := machine.New(o.machineConfig(), mgr)
 	g := gups.New(m, cfg)
 	m.Warm()
 	m.Run(warm)

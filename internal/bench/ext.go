@@ -38,7 +38,7 @@ func runExtSwap(w io.Writer, o Opts) {
 		cfg.EnableSwap = true
 		cfg.NoMigration = !migrate
 		h := core.New(cfg)
-		m := machine.New(machine.DefaultConfig(), h)
+		m := machine.New(o.machineConfig(), h)
 		g := gups.New(m, gups.Config{
 			Threads: 16, WorkingSet: 1100 * sim.GB, HotSet: hotGB * sim.GB, Seed: o.seed(),
 		})

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/tieredmem/hemem/internal/diurnal"
 	"github.com/tieredmem/hemem/internal/gap"
 	"github.com/tieredmem/hemem/internal/gups"
 	"github.com/tieredmem/hemem/internal/kvs"
@@ -23,7 +24,7 @@ import (
 // verifies that repeated seeded runs produce bit-identical simulated
 // results, and times the full experiment suite serially vs on the
 // parallel sweep engine (sweep.go), checking the outputs byte-identical.
-// `make bench` writes the report to BENCH_pr5.json so perf regressions in
+// `make bench` writes the report to BENCH_pr8.json so perf regressions in
 // the hot path (sampling, policy tick, migration queue) and in the
 // harness show up as a diffable artifact; CI compares a fresh run against
 // the committed baseline with cmd/perfdiff and warns on regressions.
@@ -48,6 +49,15 @@ type PerfResult struct {
 	// seeded rerun reproduced it bit-for-bit.
 	Digest        string `json:"digest"`
 	Deterministic bool   `json:"deterministic"`
+	// ResidentBytes is the page-metadata footprint at the end of the run
+	// (vm.AddressSpace.MetadataBytes — deterministic accounting, not heap
+	// measurement). Only cases that exercise the sparse representation
+	// report it; perfdiff flags >20% growth against the baseline.
+	ResidentBytes int64 `json:"resident_bytes,omitempty"`
+	// IdleSimNSPerSec is simulated-ns per wall-second over the
+	// phase-idle portions only, for cases with a phased schedule — the
+	// portion the adaptive quantum accelerates.
+	IdleSimNSPerSec float64 `json:"idle_sim_ns_per_sec,omitempty"`
 }
 
 // SweepPerf measures the parallel sweep engine: the full experiment
@@ -101,14 +111,29 @@ func mix(h, v uint64) uint64 {
 
 const digestSeed = 14695981039346656037
 
+// perfOutcome is what one scenario run reports back to the harness.
+// simNS, score and digest are always set; resident and the idle timings
+// only by cases that exercise the sparse metadata / adaptive quantum.
+type perfOutcome struct {
+	simNS    int64
+	score    float64
+	digest   uint64
+	resident int64
+	// idleSimNS and idleWall cover the phase-idle portions of a phased
+	// schedule, timed inside the case (the harness can only time the
+	// whole run).
+	idleSimNS int64
+	idleWall  float64
+}
+
 // perfCase runs one scenario and returns the simulated span and an
 // outcome digest.
 type perfCase struct {
 	id  string
-	run func(seed uint64) (simNS int64, score float64, digest uint64)
+	run func(seed uint64) perfOutcome
 }
 
-func perfGUPS(seed uint64) (int64, float64, uint64) {
+func perfGUPS(seed uint64) perfOutcome {
 	h := newHeMem()
 	mc := machine.DefaultConfig()
 	mc.Seed = seed
@@ -126,10 +151,10 @@ func perfGUPS(seed uint64) (int64, float64, uint64) {
 	d = mix(d, uint64(m.Migrator.Stats().Pages))
 	d = mix(d, math.Float64bits(m.Migrator.Stats().Bytes))
 	d = mix(d, math.Float64bits(m.TotalOps("gups")))
-	return m.Clock.Now(), g.Score(), d
+	return perfOutcome{simNS: m.Clock.Now(), score: g.Score(), digest: d}
 }
 
-func perfKVS(seed uint64) (int64, float64, uint64) {
+func perfKVS(seed uint64) perfOutcome {
 	h := newHeMem()
 	mc := machine.DefaultConfig()
 	mc.Seed = seed
@@ -146,10 +171,10 @@ func perfKVS(seed uint64) (int64, float64, uint64) {
 	dg = mix(dg, math.Float64bits(d.Mops()))
 	dg = mix(dg, uint64(m.Migrator.Stats().Pages))
 	dg = mix(dg, uint64(sink.n))
-	return m.Clock.Now(), d.Mops(), dg
+	return perfOutcome{simNS: m.Clock.Now(), score: d.Mops(), digest: dg}
 }
 
-func perfGAP(seed uint64) (int64, float64, uint64) {
+func perfGAP(seed uint64) perfOutcome {
 	h := newHeMem()
 	mc := machine.DefaultConfig()
 	mc.Seed = seed
@@ -167,7 +192,60 @@ func perfGAP(seed uint64) (int64, float64, uint64) {
 		last = float64(t) / 1e9
 	}
 	dg = mix(dg, uint64(m.Migrator.Stats().Pages))
-	return m.Clock.Now(), last, dg
+	return perfOutcome{simNS: m.Clock.Now(), score: last, digest: dg}
+}
+
+// perfTBScale runs the quick diurnal schedule for several simulated
+// cycles, timing the idle phases separately from the bursts. The dense
+// variant is the fixed-quantum baseline with all page metadata
+// materialized up front; the adaptive variant is the event-driven loop
+// over lazily materialized metadata. Their digests must match (same
+// simulated outcome); the JSON report carries the idle-portion speedup
+// and the resident metadata bytes.
+func perfTBScale(adaptive bool) func(seed uint64) perfOutcome {
+	return func(seed uint64) perfOutcome {
+		mc := machine.DefaultConfig()
+		mc.Seed = seed
+		mc.AdaptiveQuantum = adaptive
+		m := machine.New(mc, newHeMem())
+		cfg, _ := tbscaleConfig(Opts{})
+		d := diurnal.New(m, cfg)
+		if !adaptive {
+			d.Region().MaterializeAll()
+		}
+		out := perfOutcome{}
+		const cycles = 20
+		for c := 0; c < cycles; c++ {
+			var cycleSimNS int64
+			var cycleWall float64
+			for _, ph := range cfg.Phases {
+				start := time.Now()
+				m.Run(ph.Duration)
+				wall := time.Since(start).Seconds()
+				if ph.WindowHi <= ph.WindowLo {
+					cycleSimNS += ph.Duration
+					cycleWall += wall
+				}
+			}
+			// Idle throughput is the best cycle's (min-wall benchmarking):
+			// a GC pause or scheduler preemption landing in one cycle's
+			// idle span must not masquerade as a simulator slowdown. The
+			// first cycle never wins — it faults the windows in and builds
+			// their page sets.
+			if c > 0 && (out.idleWall == 0 || float64(cycleSimNS)/cycleWall > float64(out.idleSimNS)/out.idleWall) {
+				out.idleSimNS, out.idleWall = cycleSimNS, cycleWall
+			}
+		}
+		dg := uint64(digestSeed)
+		dg = mix(dg, math.Float64bits(d.ActiveOps()))
+		dg = mix(dg, uint64(m.Faults()))
+		dg = mix(dg, uint64(m.Migrator.Stats().Pages))
+		out.simNS = m.Clock.Now()
+		out.score = d.ActiveOps()
+		out.digest = dg
+		out.resident = m.AS.MetadataBytes()
+		return out
+	}
 }
 
 type countingWriter struct{ n int }
@@ -178,6 +256,8 @@ var perfCases = []perfCase{
 	{"gups", perfGUPS},
 	{"kvs", perfKVS},
 	{"gap-bc", perfGAP},
+	{"tbscale-dense", perfTBScale(false)},
+	{"tbscale-adaptive", perfTBScale(true)},
 }
 
 // RunPerf executes every perf scenario twice — once to check seeded
@@ -192,27 +272,32 @@ func RunPerf(o Opts) PerfReport {
 		Seed:      o.seed(),
 	}
 	for _, c := range perfCases {
-		_, _, d0 := c.run(o.seed())
+		check := c.run(o.seed())
 
 		runtime.GC()
 		var before, after runtime.MemStats
 		runtime.ReadMemStats(&before)
 		start := time.Now()
-		simNS, score, d1 := c.run(o.seed())
+		out := c.run(o.seed())
 		wall := time.Since(start).Seconds()
 		runtime.ReadMemStats(&after)
 
-		rep.Cases = append(rep.Cases, PerfResult{
+		res := PerfResult{
 			ID:            c.id,
 			WallSeconds:   wall,
-			SimulatedNS:   simNS,
-			SimNSPerSec:   float64(simNS) / wall,
+			SimulatedNS:   out.simNS,
+			SimNSPerSec:   float64(out.simNS) / wall,
 			Allocs:        after.Mallocs - before.Mallocs,
 			AllocBytes:    after.TotalAlloc - before.TotalAlloc,
-			Score:         score,
-			Digest:        fmt.Sprintf("%016x", d1),
-			Deterministic: d0 == d1,
-		})
+			Score:         out.score,
+			Digest:        fmt.Sprintf("%016x", out.digest),
+			Deterministic: check.digest == out.digest,
+			ResidentBytes: out.resident,
+		}
+		if out.idleWall > 0 {
+			res.IdleSimNSPerSec = float64(out.idleSimNS) / out.idleWall
+		}
+		rep.Cases = append(rep.Cases, res)
 	}
 	rep.Sweep = runSweepPerf(o)
 	return rep
@@ -271,8 +356,15 @@ func WritePerf(jsonOut io.Writer, log io.Writer, o Opts) error {
 		if !c.Deterministic {
 			det = "NON-DETERMINISTIC"
 		}
-		fmt.Fprintf(log, "%-8s %6.2fs wall  %8.2e sim-ns/s  %9d allocs  score=%.4g  %s\n",
-			c.ID, c.WallSeconds, c.SimNSPerSec, c.Allocs, c.Score, det)
+		extra := ""
+		if c.IdleSimNSPerSec > 0 {
+			extra = fmt.Sprintf("  idle %8.2e sim-ns/s", c.IdleSimNSPerSec)
+		}
+		if c.ResidentBytes > 0 {
+			extra += fmt.Sprintf("  resident %.2f MiB", float64(c.ResidentBytes)/(1<<20))
+		}
+		fmt.Fprintf(log, "%-16s %6.2fs wall  %8.2e sim-ns/s  %9d allocs  score=%.4g  %s%s\n",
+			c.ID, c.WallSeconds, c.SimNSPerSec, c.Allocs, c.Score, det, extra)
 	}
 	if s := rep.Sweep; s != nil {
 		if s.IdenticalOutput == nil {

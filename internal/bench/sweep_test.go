@@ -146,8 +146,8 @@ func TestPerfCasesDeterministic(t *testing.T) {
 	}
 	for _, c := range perfCases {
 		t.Run(c.id, func(t *testing.T) {
-			_, _, d0 := c.run(17)
-			_, _, d1 := c.run(17)
+			d0 := c.run(17).digest
+			d1 := c.run(17).digest
 			if d0 != d1 {
 				t.Fatalf("%s: digests differ across identically seeded runs: %016x vs %016x", c.id, d0, d1)
 			}

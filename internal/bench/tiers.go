@@ -47,7 +47,7 @@ func runTiers(w io.Writer, o Opts) {
 		}},
 	}
 	mkMachine := func(c tierChain) (*machine.Machine, *core.HeMem) {
-		mcfg := machine.DefaultConfig()
+		mcfg := o.machineConfig()
 		mcfg.DRAMSize = 16 * sim.GB // both chains get the same DRAM
 		mcfg.Tiers = c.tiers
 		h := core.New(core.DefaultConfig())

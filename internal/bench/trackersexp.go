@@ -52,7 +52,7 @@ func runTrackers(w io.Writer, o Opts) {
 	policies := policyCells(o)
 
 	mkMachine := func(tracker, policy string) (*machine.Machine, *core.HeMem) {
-		mcfg := machine.DefaultConfig()
+		mcfg := o.machineConfig()
 		mcfg.DRAMSize = 6 * sim.GB
 		h := core.New(core.Config{Tracker: tracker, Policy: policy})
 		return machine.New(mcfg, h), h

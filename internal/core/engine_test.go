@@ -37,7 +37,7 @@ func TestClassifierHotOnReadThreshold(t *testing.T) {
 	cfg.FreeDRAMTarget = 0
 	cfg.NoCooling = true
 	m, h, r := smallMachine(cfg)
-	nvmPage := r.Pages[40] // beyond the 32 DRAM pages
+	nvmPage := r.PageAt(40) // beyond the 32 DRAM pages
 	if nvmPage.Tier != vm.TierNVM {
 		t.Fatal("test setup: expected NVM page")
 	}
@@ -55,7 +55,7 @@ func TestClassifierWriteThresholdIsHalf(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.NoCooling = true
 	m, h, r := smallMachine(cfg)
-	p := r.Pages[40]
+	p := r.PageAt(40)
 	feed(m, h, p.ID, pebs.Store, cfg.HotWriteThreshold)
 	if h.HotBytes(vm.TierNVM) != m.Cfg.PageSize {
 		t.Fatal("store threshold did not mark page hot")
@@ -73,7 +73,7 @@ func TestClassifierWriteThresholdIsHalf(t *testing.T) {
 func TestCoolingHalvesCounts(t *testing.T) {
 	cfg := DefaultConfig()
 	m, h, r := smallMachine(cfg)
-	p := r.Pages[40]
+	p := r.PageAt(40)
 	// Drive one page to the cooling threshold: the global clock advances
 	// and the page itself is cooled immediately.
 	feed(m, h, p.ID, pebs.LoadNVM, cfg.CoolThreshold)
@@ -85,7 +85,7 @@ func TestCoolingHalvesCounts(t *testing.T) {
 		t.Fatalf("counts not halved: %d", pi.Reads)
 	}
 	// Another page cools lazily on its next sample.
-	q := r.Pages[41]
+	q := r.PageAt(41)
 	feed(m, h, q.ID, pebs.LoadNVM, 4) // below everything
 	qi := h.info(q.ID)
 	if qi.CoolClock != pi.CoolClock {
@@ -96,7 +96,7 @@ func TestCoolingHalvesCounts(t *testing.T) {
 func TestSecondChanceOnCooledWriteHeavy(t *testing.T) {
 	cfg := DefaultConfig()
 	m, h, r := smallMachine(cfg)
-	p := r.Pages[40]
+	p := r.PageAt(40)
 	// Make it write-heavy, then force enough cooling epochs that writes
 	// fall below the threshold while reads keep it hot.
 	feed(m, h, p.ID, pebs.Store, cfg.HotWriteThreshold)
@@ -107,7 +107,7 @@ func TestSecondChanceOnCooledWriteHeavy(t *testing.T) {
 	}
 	// Advance the global clock via another page and resample: epochs
 	// elapse, writes halve below threshold.
-	other := r.Pages[42]
+	other := r.PageAt(42)
 	for i := 0; i < 3; i++ {
 		feed(m, h, other.ID, pebs.LoadNVM, cfg.CoolThreshold)
 	}
@@ -134,8 +134,8 @@ func TestEngineAccountingInvariant(t *testing.T) {
 		listed += h.hot[i].Len() + h.cold[i].Len()
 	}
 	inflight := m.Migrator.QueueLen()
-	if listed+inflight != len(r.Pages) {
-		t.Fatalf("listed %d + inflight %d != %d pages", listed, inflight, len(r.Pages))
+	if listed+inflight != r.NumPages() {
+		t.Fatalf("listed %d + inflight %d != %d pages", listed, inflight, r.NumPages())
 	}
 	if h.DRAMUsed() != r.Bytes(vm.TierDRAM) {
 		// In-flight promotions count as committed; allow the queue.
@@ -151,7 +151,7 @@ func TestUnmanagedSamplesIgnored(t *testing.T) {
 	m, h, _ := smallMachine(cfg)
 	small := m.AS.Map("small", 2*sim.MB) // below LargeAllocThreshold
 	m.Warm()
-	feed(m, h, small.Pages[0].ID, pebs.Store, 50)
+	feed(m, h, small.PageAt(0).ID, pebs.Store, 50)
 	if got := h.Stats().Samples; got != 0 {
 		t.Fatalf("unmanaged page samples counted: %d", got)
 	}

@@ -232,9 +232,11 @@ type HeMem struct {
 	tracker Tracker
 	pol     Policy
 
-	// pages maps PageID to tracking state; nil entries are unmanaged
-	// (small kernel allocations).
-	pages []*PageInfo
+	// pages maps PageID to tracking state through a sparse windowed
+	// index: nil windows (and nil entries) are unmanaged. Window
+	// granularity keeps the index O(touched pages), matching vm's lazy
+	// page slabs, so a terabyte mapping costs nothing until tracked.
+	pages []*piWindow
 
 	// chain is the machine's migratable tiers, fastest first — the
 	// migration graph is this linear order (promote = previous entry,
@@ -491,12 +493,35 @@ func (h *HeMem) moveUsed(from, to vm.Tier, ps int64) {
 	h.addUsed(to, ps)
 }
 
+// piWindow is one window of the sparse PageID → PageInfo index.
+type piWindow [piWindowSize]*PageInfo
+
+const (
+	piWindowShift = 9
+	piWindowSize  = 1 << piWindowShift
+	piWindowMask  = piWindowSize - 1
+)
+
 // info returns the tracking state for page id, or nil if unmanaged.
 func (h *HeMem) info(id vm.PageID) *PageInfo {
-	if int(id) >= len(h.pages) {
+	wi := int(id) >> piWindowShift
+	if wi >= len(h.pages) || h.pages[wi] == nil {
 		return nil
 	}
-	return h.pages[id]
+	return h.pages[wi][int(id)&piWindowMask]
+}
+
+// setInfo writes the index entry for page id, growing the window table
+// and materializing the window as needed.
+func (h *HeMem) setInfo(id vm.PageID, pi *PageInfo) {
+	wi := int(id) >> piWindowShift
+	for wi >= len(h.pages) {
+		h.pages = append(h.pages, nil)
+	}
+	if h.pages[wi] == nil {
+		h.pages[wi] = new(piWindow)
+	}
+	h.pages[wi][int(id)&piWindowMask] = pi
 }
 
 // piSlabSize is the PageInfo arena chunk size; see HeMem.piSlab.
@@ -507,15 +532,12 @@ const piSlabSize = 4096
 // hundreds of allocations, not one per page; a slab is never resized, so
 // pointers into it stay valid.
 func (h *HeMem) track(p *vm.Page) *PageInfo {
-	for int(p.ID) >= len(h.pages) {
-		h.pages = append(h.pages, nil)
-	}
 	if len(h.piSlab) == cap(h.piSlab) {
 		h.piSlab = make([]PageInfo, 0, piSlabSize)
 	}
 	h.piSlab = append(h.piSlab, PageInfo{Page: p, CoolClock: h.clock})
 	pi := &h.piSlab[len(h.piSlab)-1]
-	h.pages[p.ID] = pi
+	h.setInfo(p.ID, pi)
 	return pi
 }
 
@@ -540,14 +562,16 @@ func (h *HeMem) Manage(r *vm.Region) {
 		return
 	}
 	setRegionFlag(&h.managed, r.ID, true)
-	for _, p := range r.Pages {
+	// Only materialized pages can be already placed; untouched ones are
+	// TierNone and would be skipped anyway.
+	r.EachPage(func(p *vm.Page) {
 		if p.Tier == vm.TierNone || h.info(p.ID) != nil {
-			continue
+			return
 		}
 		pi := h.track(p)
 		h.pol.PagePlaced(pi)
 		h.tracker.PageIn(pi)
-	}
+	})
 }
 
 // Managed reports whether r is under HeMem management (either because it
@@ -584,7 +608,9 @@ func (h *HeMem) Release(r *vm.Region) {
 	}
 	setRegionFlag(&h.released, r.ID, true)
 	ps := h.m.Cfg.PageSize
-	for _, p := range r.Pages {
+	// Untouched pages were never tracked, never placed, never migrating —
+	// the sparse walk covers everything Release must undo.
+	r.EachPage(func(p *vm.Page) {
 		if p.Migrating {
 			if dst, ok := h.m.Migrator.Cancel(p); ok {
 				// Undo the enqueue-time accounting exactly as
@@ -598,12 +624,12 @@ func (h *HeMem) Release(r *vm.Region) {
 			if pi.list != nil {
 				pi.list.Remove(pi)
 			}
-			h.pages[p.ID] = nil
+			h.setInfo(p.ID, nil)
 		}
 		if p.Tier != vm.TierNone {
 			h.addUsed(p.Tier, -ps)
 		}
-	}
+	})
 	setRegionFlag(&h.pinned, r.ID, false)
 	setRegionFlag(&h.managed, r.ID, false)
 }

@@ -100,7 +100,7 @@ func (pl *heatPolicy) bucket(pi *PageInfo) *heatBucket {
 	if !ok {
 		rh = &regionHeat{
 			reg:     reg,
-			buckets: make([]heatBucket, (len(reg.Pages)+heatBucketPages-1)/heatBucketPages),
+			buckets: make([]heatBucket, (reg.NumPages()+heatBucketPages-1)/heatBucketPages),
 		}
 		pl.byReg[reg] = rh
 		pl.regs = append(pl.regs, rh)

@@ -35,8 +35,8 @@ func TestSwapSpillsToDisk(t *testing.T) {
 	}
 	// Conservation.
 	total := r.Count(vm.TierDRAM) + r.Count(vm.TierNVM) + r.Count(vm.TierDisk)
-	if total != len(r.Pages) {
-		t.Fatalf("pages unaccounted: %d != %d", total, len(r.Pages))
+	if total != r.NumPages() {
+		t.Fatalf("pages unaccounted: %d != %d", total, r.NumPages())
 	}
 }
 

@@ -171,10 +171,11 @@ func (t *pebsTracker) observeBatch(recs []pebs.Record) {
 	pol := t.h.pol
 	for i := range recs {
 		rec := &recs[i]
-		if int(rec.Page) >= len(pages) {
+		wi := int(rec.Page) >> piWindowShift
+		if wi >= len(pages) || pages[wi] == nil {
 			continue // unmanaged page
 		}
-		pi := pages[rec.Page]
+		pi := pages[wi][int(rec.Page)&piWindowMask]
 		if pi == nil {
 			continue // unmanaged page
 		}

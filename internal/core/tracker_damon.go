@@ -93,7 +93,7 @@ func (t *damonTracker) PageIn(pi *PageInfo) {
 		return
 	}
 	setRegionFlag(&t.known, reg.ID, true)
-	t.regions = append(t.regions, damonRegion{reg: reg, start: 0, end: len(reg.Pages)})
+	t.regions = append(t.regions, damonRegion{reg: reg, start: 0, end: reg.NumPages()})
 }
 
 // PageOut implements Tracker: mark the region dead; its sampling regions
@@ -163,8 +163,8 @@ func (t *damonTracker) samplePass() {
 		if span <= 0 {
 			continue
 		}
-		p := r.reg.Pages[r.start+t.rng.Intn(span)]
-		if h.info(p.ID) == nil {
+		p := r.reg.Peek(r.start + t.rng.Intn(span))
+		if p == nil || h.info(p.ID) == nil {
 			continue // not faulted in yet: reads as untouched
 		}
 		var lr, lw float64
@@ -212,7 +212,10 @@ func (t *damonTracker) aggregate() {
 			touch = damonTouchPages
 		}
 		for k := 0; k < touch; k++ {
-			p := r.reg.Pages[r.start+(r.cursor+k)%span]
+			p := r.reg.Peek(r.start + (r.cursor+k)%span)
+			if p == nil {
+				continue
+			}
 			pi := h.info(p.ID)
 			if pi == nil {
 				continue

@@ -99,31 +99,36 @@ func (t *idlePageTracker) completePass() {
 	for _, res := range t.sc.Complete() {
 		t.lam[res.Set] = [2]float64{res.ExpectedReads + res.ExpectedWrites, res.ExpectedWrites}
 	}
-	for _, pi := range h.pages {
-		if pi == nil {
+	for _, w := range h.pages {
+		if w == nil {
 			continue
 		}
-		var la, lw float64
-		pi.Page.EachSet(func(s *vm.PageSet) {
-			d := t.lam[s]
-			la += d[0]
-			lw += d[1]
-		})
-		accessed := la > 0 && t.rng.Bernoulli(1-math.Exp(-la))
-		dirty := lw > 0 && t.rng.Bernoulli(1-math.Exp(-lw))
-		// An accessed bit carries no count, so it delivers a full hot
-		// threshold's worth of evidence — any touched page looks hot to a
-		// bit scanner; untouched pages age.
-		switch {
-		case dirty:
-			h.pol.Observe(pi, true, h.cfg.HotWriteThreshold)
-			if accessed {
-				h.pol.Observe(pi, false, h.cfg.HotReadThreshold)
+		for _, pi := range w {
+			if pi == nil {
+				continue
 			}
-		case accessed:
-			h.pol.Observe(pi, false, h.cfg.HotReadThreshold)
-		default:
-			h.pol.Observe(pi, false, 0)
+			var la, lw float64
+			pi.Page.EachSet(func(s *vm.PageSet) {
+				d := t.lam[s]
+				la += d[0]
+				lw += d[1]
+			})
+			accessed := la > 0 && t.rng.Bernoulli(1-math.Exp(-la))
+			dirty := lw > 0 && t.rng.Bernoulli(1-math.Exp(-lw))
+			// An accessed bit carries no count, so it delivers a full hot
+			// threshold's worth of evidence — any touched page looks hot to a
+			// bit scanner; untouched pages age.
+			switch {
+			case dirty:
+				h.pol.Observe(pi, true, h.cfg.HotWriteThreshold)
+				if accessed {
+					h.pol.Observe(pi, false, h.cfg.HotReadThreshold)
+				}
+			case accessed:
+				h.pol.Observe(pi, false, h.cfg.HotReadThreshold)
+			default:
+				h.pol.Observe(pi, false, 0)
+			}
 		}
 	}
 }

@@ -92,7 +92,7 @@ func NewDriver(m *machine.Machine, cfg DriverConfig) *Driver {
 	// and summary are pure functions of (scale, edge factor, seed), so
 	// they come from the process-wide calibration cache instead of being
 	// rebuilt per driver/sweep cell.
-	pages := d.vertexRegion.Pages
+	pages := d.vertexRegion.AllPages()
 	traffic := CalibrationTraffic(KroneckerConfig{Scale: cfg.CalibrationScale, EdgeFactor: cfg.EdgeFactor, Seed: cfg.Seed}, len(pages))
 
 	// Split pages into three zones: the hottest pages covering ~40% of

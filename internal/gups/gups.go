@@ -69,7 +69,7 @@ func New(m *machine.Machine, cfg Config) *GUPS {
 	}
 	g := &GUPS{cfg: cfg}
 	g.region = m.AS.Map("gups", cfg.WorkingSet)
-	pages := g.region.Pages
+	pages := g.region.AllPages()
 
 	if cfg.HotSet > 0 && cfg.HotSet < cfg.WorkingSet {
 		rng := sim.NewRand(cfg.Seed + 0x9d5)

@@ -46,7 +46,7 @@ func TestHotColdDecomposition(t *testing.T) {
 		t.Fatalf("hot share = %v, want %v", comps[0].Share, wantHot)
 	}
 	// Page sets are disjoint and cover the region.
-	if g.HotPages().Len()+comps[1].Set.Len() != len(g.Region().Pages) {
+	if g.HotPages().Len()+comps[1].Set.Len() != g.Region().NumPages() {
 		t.Fatal("hot+cold do not partition the region")
 	}
 	_ = m

@@ -99,7 +99,7 @@ func NewDriver(m *machine.Machine, cfg DriverConfig) *Driver {
 	d.tableSet = d.tableRegion.AsSet()
 	d.logRegion = m.AS.Map(cfg.Name+"-log", cfg.WorkingSet)
 
-	pages := d.logRegion.Pages
+	pages := d.logRegion.AllPages()
 	if cfg.HotKeyFrac > 0 && cfg.HotKeyFrac < 1 {
 		rng := sim.NewRand(cfg.Seed + 0x6b7673)
 		perm := rng.Perm(len(pages))

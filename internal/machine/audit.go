@@ -82,15 +82,19 @@ func (m *Machine) Audit() []AuditViolation {
 		for i := range recount {
 			recount[i] = 0
 		}
-		for _, p := range r.Pages {
+		r.EachPage(func(p *vm.Page) {
 			if int(p.Tier) < 0 || int(p.Tier) >= vm.MaxTiers {
 				vs = append(vs, AuditViolation{"region-counts",
 					fmt.Sprintf("%s: page %d has out-of-range tier %d", r.Name, p.ID, p.Tier)})
-				continue
+				return
 			}
 			recount[p.Tier]++
 			resident[p.Tier] += r.PageSize
-		}
+		})
+		// Unmaterialized pages are TierNone by construction.
+		untouched := r.NumPages() - r.TouchedPages()
+		recount[vm.TierNone] += untouched
+		resident[vm.TierNone] += int64(untouched) * r.PageSize
 		for t := vm.Tier(0); int(t) < vm.NumTiers() && int(t) < vm.MaxTiers; t++ {
 			if got := r.Count(t); got != recount[t] {
 				vs = append(vs, AuditViolation{"region-counts",
@@ -137,12 +141,12 @@ func (m *Machine) Audit() []AuditViolation {
 		}
 	}
 	for _, r := range m.AS.Regions {
-		for _, p := range r.Pages {
+		r.EachPage(func(p *vm.Page) {
 			if p.Migrating && queued[p] == 0 {
 				vs = append(vs, AuditViolation{"migrating-queue",
 					fmt.Sprintf("page %d has Migrating flag but no queue entry", p.ID)})
 			}
-		}
+		})
 	}
 
 	// Manager committed-bytes conservation. In-flight migrations are
@@ -217,7 +221,7 @@ func (m *Machine) Audit() []AuditViolation {
 // set membership. Called by Machine.Unmap after AddressSpace.Unmap.
 func (m *Machine) auditUnmap(r *vm.Region) []AuditViolation {
 	var vs []AuditViolation
-	for _, p := range r.Pages {
+	r.EachPage(func(p *vm.Page) {
 		if p.Tier != vm.TierNone {
 			vs = append(vs, AuditViolation{"unmap-residue",
 				fmt.Sprintf("%s: page %d still resident in %v after unmap", r.Name, p.ID, p.Tier)})
@@ -230,7 +234,7 @@ func (m *Machine) auditUnmap(r *vm.Region) []AuditViolation {
 			vs = append(vs, AuditViolation{"unmap-residue",
 				fmt.Sprintf("%s: page %d still write-protected (migrating) after unmap", r.Name, p.ID)})
 		}
-	}
+	})
 	for _, req := range m.Migrator.queue {
 		if req.page.Region == r {
 			vs = append(vs, AuditViolation{"unmap-residue",

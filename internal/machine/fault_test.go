@@ -45,7 +45,7 @@ func TestMigrationAbortRollbackAndAbandon(t *testing.T) {
 	m.NVM.ResetWear()
 	m.DRAM.ResetWear()
 
-	p := r.Pages[0]
+	p := r.PageAt(0)
 	if !m.Migrator.Enqueue(p, vm.TierDRAM) {
 		t.Fatal("enqueue failed")
 	}
@@ -99,7 +99,7 @@ func TestUrgentMigrationNeverAborts(t *testing.T) {
 	r := m.AS.Map("data", 2*sim.MB)
 	m.Warm()
 
-	p := r.Pages[0]
+	p := r.PageAt(0)
 	if !m.Migrator.EnqueueUrgent(p, vm.TierDRAM) {
 		t.Fatal("urgent enqueue failed")
 	}
@@ -137,7 +137,7 @@ func TestDMAChannelExhaustionFallsBackToThreads(t *testing.T) {
 		t.Fatalf("fallback threads = %d, want 4", tb.Copier.Threads)
 	}
 	// The fallback still moves pages.
-	for _, p := range r.Pages {
+	for _, p := range r.AllPages() {
 		m.Migrator.Enqueue(p, vm.TierDRAM)
 	}
 	m.Run(100 * sim.Millisecond)
@@ -165,7 +165,7 @@ func TestNVMUncorrectableRetiresFrames(t *testing.T) {
 		t.Fatalf("AS retired frames = %d, want 10", got)
 	}
 	remaps := 0
-	for _, p := range r.Pages {
+	for _, p := range r.AllPages() {
 		remaps += p.Remaps
 		if p.Tier != vm.TierNVM {
 			t.Fatalf("page %d left NVM under non-FaultHandler manager", p.ID)
@@ -185,7 +185,7 @@ func TestNoFaultsWithoutConfig(t *testing.T) {
 	m := machine.New(machine.DefaultConfig(), xmem.NVMOnly())
 	r := m.AS.Map("data", 64*sim.MB)
 	m.Warm()
-	for _, p := range r.Pages {
+	for _, p := range r.AllPages() {
 		m.Migrator.Enqueue(p, vm.TierDRAM)
 	}
 	m.Run(100 * sim.Millisecond)

@@ -135,8 +135,12 @@ func (m *Machine) pickUEVictim() *vm.Page {
 			k -= n
 			continue
 		}
-		for _, p := range r.Pages {
-			if !m.ueTier(p.Tier) {
+		// Only materialized pages can be resident on a UE-prone tier, so
+		// the sparse walk (ascending index order, like the dense one) sees
+		// every candidate.
+		for i, np := 0, r.NumPages(); i < np; i++ {
+			p := r.Peek(i)
+			if p == nil || !m.ueTier(p.Tier) {
 				continue
 			}
 			if k == 0 {

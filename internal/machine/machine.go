@@ -179,6 +179,10 @@ type workloadMeta struct {
 	w        Workload
 	series   *sim.Series
 	totalOps float64
+	// hinter caches the PhaseHinter type assertion so the adaptive
+	// horizon scan does not re-assert per step; nil when w gives no
+	// phase hints.
+	hinter PhaseHinter
 }
 
 // Releaser is implemented by managers that support region teardown:
@@ -267,6 +271,16 @@ type Config struct {
 	// violation. A pure observer — it draws no randomness and changes no
 	// behavior, so audited runs are bit-identical to unaudited ones.
 	Audit bool
+	// AdaptiveQuantum switches Run/RunUntilDone to event-driven stepping:
+	// while the machine is quiescent (no traffic occurrences possible, no
+	// queued migrations, no stall residue, no fault injection, no offline
+	// tier), a step stretches from the fixed quantum to the next
+	// interesting instant — the earliest due event (policy ticks, chaos
+	// episodes), throughput-sample or telemetry instant, or hinted
+	// traffic-phase boundary — accumulating ops analytically over the
+	// span. Off by default: the fixed cadence is pinned by the golden
+	// outputs. Direct Step calls are unaffected.
+	AdaptiveQuantum bool
 	// Tiers optionally declares the memory hierarchy explicitly, fastest
 	// first (e.g. DRAM, CXL, NVM, disk). Nil means the classic
 	// DRAM/NVM/disk testbed built from the size fields above. When set,
@@ -323,6 +337,11 @@ func (c Config) withDefaults() Config {
 		def := DefaultConfig()
 		def.Faults = c.Faults
 		def.Tiers = c.Tiers
+		def.Audit = c.Audit
+		def.AdaptiveQuantum = c.AdaptiveQuantum
+		if c.Quantum != 0 {
+			def.Quantum = c.Quantum
+		}
 		return def.resolveTiers()
 	}
 	def := DefaultConfig()
@@ -442,6 +461,12 @@ type Machine struct {
 	AS   *vm.AddressSpace
 
 	devs []*mem.Device
+	// seqBW is the tier table's hoisted sequential-bandwidth column:
+	// per-device peak media bandwidth for [read, write] sequential
+	// streams, captured at construction. Migration seeding divides by it
+	// every quantum; only the throttle derate varies at runtime (see
+	// seqBandwidth).
+	seqBW [MaxDevs][2]float64
 	// tierDev maps a TierID to its device index; -1 when absent.
 	tierDev [vm.MaxTiers]int8
 	// noneDev is the device unplaced pages are charged to (index 1 of
@@ -548,6 +573,10 @@ func New(cfg Config, mgr Manager) *Machine {
 			m.Disk = dev
 		}
 	}
+	for i, dev := range m.devs {
+		m.seqBW[i][mem.Read] = dev.Spec.Peak[mem.Read][mem.Sequential]
+		m.seqBW[i][mem.Write] = dev.Spec.Peak[mem.Write][mem.Sequential]
+	}
 	m.noneDev = Dev(1)
 	if len(m.devs) < 2 {
 		m.noneDev = 0
@@ -558,6 +587,21 @@ func New(cfg Config, mgr Manager) *Machine {
 	m.Migrator = NewMigrator(m)
 	mgr.Attach(m)
 	return m
+}
+
+// seqBandwidth returns the sequential media-bandwidth ceiling for device
+// d from the hoisted tier-table column, applying the runtime throttle
+// derate exactly as Device.EffectiveBandwidth would (peak first, derate
+// multiply second, so the arithmetic is bit-identical).
+func (m *Machine) seqBandwidth(d Dev, kind mem.Kind) float64 {
+	if int(d) >= len(m.devs) {
+		return m.Device(d).EffectiveBandwidth(kind, mem.Sequential)
+	}
+	bw := m.seqBW[d][kind]
+	if f := m.Device(d).Derate(); f != 1 {
+		bw *= f
+	}
+	return bw
 }
 
 // Device returns the device instance for index d; out-of-range indices
@@ -630,7 +674,9 @@ func (m *Machine) SlowerTier(t vm.TierID) (vm.TierID, bool) {
 // consults a name-keyed map.
 func (m *Machine) AddWorkload(w Workload) {
 	m.Workloads = append(m.Workloads, w)
-	m.wmeta = append(m.wmeta, &workloadMeta{w: w, series: &sim.Series{Name: w.Name()}})
+	wm := &workloadMeta{w: w, series: &sim.Series{Name: w.Name()}}
+	wm.hinter, _ = w.(PhaseHinter)
+	m.wmeta = append(m.wmeta, wm)
 }
 
 // StallAll charges every running application thread d nanoseconds of stall
@@ -661,7 +707,8 @@ func (m *Machine) RateSets() []*vm.PageSet { return m.rateOrder }
 func (m *Machine) Warm() {
 	n := 0
 	for _, r := range m.AS.Regions {
-		for _, p := range r.Pages {
+		for i, np := 0, r.NumPages(); i < np; i++ {
+			p := r.PageAt(i)
 			if p.Tier == vm.TierNone {
 				m.Mgr.PageIn(p)
 				n++
@@ -673,6 +720,39 @@ func (m *Machine) Warm() {
 	}
 	m.faults += int64(n)
 	m.Clock.Advance(int64(n) * vm.FaultCost)
+}
+
+// TouchRange faults in pages [lo, hi) of region r: metadata materializes,
+// the manager places any TierNone page, and the userfaultfd fault cost is
+// charged as stall spread over the running threads (unlike Warm, which
+// runs before the clock starts and advances it directly). Sparse
+// workloads use it to fault in exactly the windows a traffic phase
+// touches, keeping metadata O(touched pages). Returns the number of
+// pages faulted.
+func (m *Machine) TouchRange(r *vm.Region, lo, hi int) int {
+	if lo < 0 {
+		lo = 0
+	}
+	if n := r.NumPages(); hi > n {
+		hi = n
+	}
+	faulted := 0
+	for i := lo; i < hi; i++ {
+		p := r.PageAt(i)
+		if p.Tier != vm.TierNone {
+			continue
+		}
+		m.Mgr.PageIn(p)
+		if p.Tier == vm.TierNone {
+			panic("machine: manager did not place page on PageIn")
+		}
+		faulted++
+	}
+	if faulted > 0 {
+		m.faults += int64(faulted)
+		m.StallAll(int64(faulted) * vm.FaultCost)
+	}
+	return faulted
 }
 
 // Faults returns the number of page-missing faults taken so far.
@@ -720,6 +800,10 @@ func (m *Machine) TotalOps(name string) float64 {
 func (m *Machine) Run(duration int64) {
 	end := m.Clock.Now() + duration
 	for m.Clock.Now() < end {
+		if m.Cfg.AdaptiveQuantum {
+			m.stepAdaptive(end)
+			continue
+		}
 		dt := m.Cfg.Quantum
 		if left := end - m.Clock.Now(); left < dt {
 			dt = left
@@ -743,8 +827,122 @@ func (m *Machine) RunUntilDone(maxDuration int64) {
 		if done {
 			return
 		}
+		if m.Cfg.AdaptiveQuantum {
+			m.stepAdaptive(end)
+			continue
+		}
 		m.Step(m.Cfg.Quantum)
 	}
+}
+
+// PhaseHinter is an optional Workload interface consumed by the adaptive
+// stepper: NextPhaseChange returns the next instant the workload's traffic
+// components will change (a phase boundary), ok=false when none is
+// scheduled. The adaptive horizon never crosses a hinted boundary, so a
+// phase-scheduled workload wakes the solver exactly when its traffic
+// turns on. Workloads that change components through event-queue
+// callbacks instead need no hint — due events already bound the horizon.
+type PhaseHinter interface {
+	NextPhaseChange(now int64) (at int64, ok bool)
+}
+
+// quiescent reports whether nothing dt-dependent is in flight: an
+// adaptive step may stretch only when the migration queue is empty, no
+// stall residue is draining, fault injection is off, and no tier is
+// offline (the offline sweep polls evacuation per quantum).
+func (m *Machine) quiescent() bool {
+	if len(m.Migrator.queue) != 0 || m.stall != 0 || m.Injector.Enabled() {
+		return false
+	}
+	for _, off := range m.offline {
+		if off {
+			return false
+		}
+	}
+	return true
+}
+
+// trafficIdle reports whether no workload component can generate device
+// traffic this step: every active component either has no share, no
+// pages, or moves no bytes. Zero-byte components still cost op time
+// (TLB walks), but produce no wear, no access integrals, no PEBS
+// records, and no utilization — so the solver's outputs are constant in
+// dt and the span can be integrated analytically. Components must be
+// pure accessors for this pre-pass (every in-repo workload's are).
+func (m *Machine) trafficIdle() bool {
+	for _, w := range m.Workloads {
+		if w.Done() {
+			continue
+		}
+		for _, c := range w.Components() {
+			if c.Share > 0 && c.Set != nil && c.Set.Len() > 0 && (c.ReadBytes > 0 || c.WriteBytes > 0) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// nextEventHorizon returns the earliest upcoming instant at which the
+// solver's inputs may change while the machine is quiescent: the next
+// due event, the next throughput-sample and telemetry instants (their
+// cadences are pinned by goldens, so adaptive steps land on the exact
+// same timestamps), and any workload-hinted phase boundary, all capped
+// at end.
+func (m *Machine) nextEventHorizon(now, end int64) int64 {
+	h := end
+	if at, ok := m.Events.NextDeadline(); ok && at < h {
+		h = at
+	}
+	if t := m.lastSample + m.sampleEach; t > now && t < h {
+		h = t
+	}
+	if m.telemetry != nil {
+		if t := m.telemetry.last + m.telemetry.every; t > now && t < h {
+			h = t
+		}
+	}
+	for _, wm := range m.wmeta {
+		if wm.hinter == nil || wm.w.Done() {
+			continue
+		}
+		if at, ok := wm.hinter.NextPhaseChange(now); ok && at > now && at < h {
+			h = at
+		}
+	}
+	return h
+}
+
+// stepAdaptive advances one event-driven step: due events fire first
+// (they may start migrations, deposit stalls, or flip workload phases),
+// then the step runs over either the fixed quantum or — when the machine
+// is quiescent and no component moves bytes — the stretch to the next
+// event horizon in one analytic span.
+func (m *Machine) stepAdaptive(end int64) {
+	now := m.Clock.Now()
+	m.Events.RunDue(now)
+	dt := m.Cfg.Quantum
+	if left := end - now; left < dt {
+		dt = left
+	}
+	if m.quiescent() && !m.sampleDue(now) && m.trafficIdle() {
+		if h := m.nextEventHorizon(now, end); h-now > dt {
+			dt = h - now
+		}
+	}
+	m.stepBody(now, dt)
+}
+
+// sampleDue reports whether the step starting at now will record a
+// telemetry row. Telemetry samples cumulative counters — they include
+// the sampling step's own ops — so that step must advance by the base
+// quantum for the recorded values to reproduce the fixed schedule's bit
+// for bit. The throughput series needs no such guard: it records the
+// step's rate, which under quiescence (no stall, no traffic, no
+// migration) is independent of dt, and the event horizon already pins
+// the sample instants themselves.
+func (m *Machine) sampleDue(now int64) bool {
+	return m.telemetry != nil && now-m.telemetry.last >= m.telemetry.every
 }
 
 // Step advances one quantum: fire due events, compute workload rates under
@@ -753,6 +951,12 @@ func (m *Machine) RunUntilDone(maxDuration int64) {
 func (m *Machine) Step(dt int64) {
 	now := m.Clock.Now()
 	m.Events.RunDue(now)
+	m.stepBody(now, dt)
+}
+
+// stepBody is the quantum body shared by the fixed and adaptive paths;
+// due events have already fired.
+func (m *Machine) stepBody(now, dt int64) {
 	m.applyFaults(now, dt)
 
 	// Advance migrations first so completed moves are visible to this
@@ -790,13 +994,17 @@ func (m *Machine) Step(dt int64) {
 	// Cost each component and compute unconstrained rates.
 	nd := Dev(len(m.devs))
 	var util [MaxDevs][2]float64
-	// Seed utilization with migration traffic (sequential streams).
-	for _, mv := range migMoved {
+	// Seed utilization with migration traffic (sequential streams). Only
+	// the devices that exist are visited, and the sequential bandwidth
+	// ceilings come from the tier table's hoisted column instead of a
+	// per-quantum device-model lookup.
+	for d := Dev(0); d < nd; d++ {
+		mv := &migMoved[d]
 		if mv.bytes == 0 {
 			continue
 		}
-		util[mv.srcDev][mem.Read] += mv.bytes / float64(dt) / m.Device(mv.srcDev).EffectiveBandwidth(mem.Read, mem.Sequential)
-		util[mv.dstDev][mem.Write] += mv.bytes / float64(dt) / m.Device(mv.dstDev).EffectiveBandwidth(mem.Write, mem.Sequential)
+		util[mv.srcDev][mem.Read] += mv.bytes / float64(dt) / m.seqBandwidth(mv.srcDev, mem.Read)
+		util[mv.dstDev][mem.Write] += mv.bytes / float64(dt) / m.seqBandwidth(mv.dstDev, mem.Write)
 	}
 
 	// Stalls charged by managers (TLB shootdowns) drain from a reservoir,

@@ -152,13 +152,13 @@ func TestMigratorBasics(t *testing.T) {
 
 	m.NVM.ResetWear()
 	m.DRAM.ResetWear()
-	for _, p := range r.Pages {
+	for _, p := range r.AllPages() {
 		if !m.Migrator.Enqueue(p, vm.TierDRAM) {
 			t.Fatal("enqueue failed")
 		}
 	}
 	// Re-enqueue while migrating is refused.
-	if m.Migrator.Enqueue(r.Pages[0], vm.TierDRAM) {
+	if m.Migrator.Enqueue(r.PageAt(0), vm.TierDRAM) {
 		t.Fatal("double enqueue accepted")
 	}
 	if m.Migrator.QueueLen() != 32 {
@@ -191,7 +191,7 @@ func TestMigratorRateCap(t *testing.T) {
 	r := m.AS.Map("data", 2*sim.GB)
 	m.Warm()
 	m.Migrator.RateCap = sim.GBps(1)
-	for _, p := range r.Pages {
+	for _, p := range r.AllPages() {
 		m.Migrator.Enqueue(p, vm.TierDRAM)
 	}
 	m.Run(1 * sim.Second)
@@ -325,7 +325,7 @@ func TestPlacementCostTierSplit(t *testing.T) {
 	allNVM := m.PlacementCost(c)
 	// Move half to DRAM: cost drops.
 	for i := 0; i < 2; i++ {
-		r.Pages[i].SetTier(vm.TierDRAM)
+		r.PageAt(i).SetTier(vm.TierDRAM)
 	}
 	half := m.PlacementCost(c)
 	if half.Time >= allNVM.Time {

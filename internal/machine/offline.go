@@ -140,11 +140,11 @@ func (m *Machine) fallbackEvacuate(t vm.TierID) {
 		if r.Count(t) == 0 {
 			continue
 		}
-		for _, p := range r.Pages {
+		r.EachPage(func(p *vm.Page) {
 			if p.Tier == t && !p.Migrating {
 				m.Migrator.Enqueue(p, dst)
 			}
-		}
+		})
 	}
 }
 

@@ -94,7 +94,7 @@ func TestTelemetrySeriesCoverTierTable(t *testing.T) {
 
 	// Drive one migration over each link of the DRAM→CXL→NVM chain and
 	// one promotion back, so both directions of every edge traverse.
-	p := r.Pages[0]
+	p := r.PageAt(0)
 	for _, dst := range []vm.Tier{vm.TierCXL, vm.TierNVM, vm.TierCXL, vm.TierDRAM} {
 		if !m.Migrator.Enqueue(p, dst) {
 			t.Fatalf("Enqueue(%v) refused", dst)
@@ -219,7 +219,7 @@ func TestWriteCSVMatchesBinarySearchReference(t *testing.T) {
 	}})
 	m.Warm()
 	m.Run(1 * sim.Second)
-	m.Migrator.Enqueue(r.Pages[0], vm.TierNVM)
+	m.Migrator.Enqueue(r.PageAt(0), vm.TierNVM)
 	m.Run(1 * sim.Second)
 	check("recorded", tel)
 }

@@ -85,7 +85,7 @@ func NewDriver(m *machine.Machine, cfg DriverConfig) *Driver {
 	total := int64(cfg.Warehouses) * cfg.WarehouseBytes
 	d.dbRegion = m.AS.Map("tpcc-db", total)
 
-	pages := d.dbRegion.Pages
+	pages := d.dbRegion.AllPages()
 	// Warehouse and district rows are ~0.5% of bytes but are touched by
 	// every transaction — the small always-hot core.
 	nHot := len(pages) / 200

@@ -12,6 +12,7 @@ package vm
 
 import (
 	"fmt"
+	"unsafe"
 
 	"github.com/tieredmem/hemem/internal/sim"
 )
@@ -111,7 +112,7 @@ type PageID int32
 type Page struct {
 	ID     PageID
 	Region *Region
-	Index  int // index within Region.Pages
+	Index  int // page index within its region
 
 	Tier Tier
 
@@ -249,8 +250,22 @@ func countOf(c []int, t Tier) int {
 	return 0
 }
 
+// Page metadata is materialized in fixed-size chunks so that terabyte
+// regions cost memory proportional to the pages actually touched, not the
+// mapped size. A chunk is a value array: page pointers handed out by
+// PageAt stay stable for the life of the region.
+const (
+	chunkShift = 6
+	chunkPages = 1 << chunkShift
+	chunkMask  = chunkPages - 1
+)
+
+type pageChunk [chunkPages]Page
+
 // Region is a contiguous virtual address range created by an (intercepted)
-// mmap call. Pages are allocated lazily by tier managers on first touch.
+// mmap call. Page metadata is materialized lazily on first touch (tracker
+// sample, migration, fault, or explicit access through PageAt); untouched
+// pages exist only as the TierNone residue of the occupancy counters.
 type Region struct {
 	// ID is the region's dense index within its AddressSpace; managers
 	// use it to keep per-region state in slices instead of pointer maps.
@@ -258,36 +273,127 @@ type Region struct {
 	Name     string
 	Start    int64
 	PageSize int64
-	Pages    []*Page
 
-	// counts is indexed by TierID and sized by the tier table.
+	n    int    // pages in the region
+	base PageID // global ID of page 0
+	// chunks holds the lazily materialized page slabs; a nil entry means
+	// no page in that 64-page window has ever been touched.
+	chunks  []*pageChunk
+	touched int
+	space   *AddressSpace
+
+	// counts is indexed by TierID and sized by the tier table. The
+	// TierNone count includes unmaterialized pages.
 	counts []int
 }
 
 // Size returns the region length in bytes.
-func (r *Region) Size() int64 { return int64(len(r.Pages)) * r.PageSize }
+func (r *Region) Size() int64 { return int64(r.n) * r.PageSize }
+
+// NumPages returns the number of pages the region spans (touched or not).
+func (r *Region) NumPages() int { return r.n }
+
+// TouchedPages returns how many of the region's pages have materialized
+// metadata.
+func (r *Region) TouchedPages() int { return r.touched }
+
+// PageAt returns the page at index i, materializing its metadata on first
+// touch. The returned pointer is stable for the life of the region.
+func (r *Region) PageAt(i int) *Page {
+	ci := i >> chunkShift
+	c := r.chunks[ci]
+	if c == nil {
+		c = new(pageChunk)
+		r.chunks[ci] = c
+	}
+	p := &c[i&chunkMask]
+	if p.Region == nil {
+		p.ID, p.Region, p.Index = r.base+PageID(i), r, i
+		r.touched++
+		if r.space != nil {
+			r.space.touched++
+		}
+	}
+	return p
+}
+
+// Peek returns the page at index i if its metadata has materialized, nil
+// otherwise. An unmaterialized page is by definition in TierNone with no
+// set memberships, so observers can skip it.
+func (r *Region) Peek(i int) *Page {
+	c := r.chunks[i>>chunkShift]
+	if c == nil {
+		return nil
+	}
+	p := &c[i&chunkMask]
+	if p.Region == nil {
+		return nil
+	}
+	return p
+}
+
+// EachPage calls f for every materialized page, in ascending index order.
+// Untouched pages are skipped: they are in TierNone and belong to no set,
+// so occupancy observers lose nothing.
+func (r *Region) EachPage(f func(*Page)) {
+	for _, c := range r.chunks {
+		if c == nil {
+			continue
+		}
+		for j := range c {
+			if p := &c[j]; p.Region != nil {
+				f(p)
+			}
+		}
+	}
+}
+
+// MaterializeAll forces metadata for every page in the region — the dense
+// baseline against which the sparse path is measured, and what Warm-style
+// whole-region placement naturally produces.
+func (r *Region) MaterializeAll() {
+	for i := 0; i < r.n; i++ {
+		r.PageAt(i)
+	}
+}
+
+// AllPages returns a fresh slice of every page in index order,
+// materializing the whole region. Workloads that address their entire
+// mapping (perm-based hot/cold splits) use this; sparse-friendly
+// workloads should address windows through PageAt instead.
+func (r *Region) AllPages() []*Page {
+	out := make([]*Page, r.n)
+	for i := 0; i < r.n; i++ {
+		out[i] = r.PageAt(i)
+	}
+	return out
+}
 
 // Count returns how many of the region's pages are in tier t.
 func (r *Region) Count(t Tier) int { return countOf(r.counts, t) }
 
 // Frac returns the fraction of the region's pages in tier t.
 func (r *Region) Frac(t Tier) float64 {
-	if len(r.Pages) == 0 {
+	if r.n == 0 {
 		return 0
 	}
-	return float64(countOf(r.counts, t)) / float64(len(r.Pages))
+	return float64(countOf(r.counts, t)) / float64(r.n)
 }
 
 // Bytes returns the bytes of the region resident in tier t.
 func (r *Region) Bytes(t Tier) int64 { return int64(countOf(r.counts, t)) * r.PageSize }
 
-// AsSet returns a PageSet covering the whole region.
+// AsSet returns a PageSet covering the whole region (materializing it).
 func (r *Region) AsSet() *PageSet {
-	return NewPageSet(r.Name, r.Pages)
+	s := &PageSet{Name: r.Name, pages: make([]*Page, 0, r.n), counts: make([]int, NumTiers())}
+	for i := 0; i < r.n; i++ {
+		s.Add(r.PageAt(i))
+	}
+	return s
 }
 
 func (r *Region) String() string {
-	return fmt.Sprintf("%s[%d pages × %d]", r.Name, len(r.Pages), r.PageSize)
+	return fmt.Sprintf("%s[%d pages × %d]", r.Name, r.n, r.PageSize)
 }
 
 // PageSet is an arbitrary (possibly non-contiguous) set of pages used to
@@ -371,10 +477,23 @@ type AddressSpace struct {
 	PageSize int64
 	Regions  []*Region
 
-	pages         []*Page
+	// spans maps global PageID ranges back to their regions. Entries are
+	// append-only: an unmapped region keeps its span so stale PageIDs in
+	// flight still resolve (to a TierNone page with no sets), matching the
+	// old dense index's behavior.
+	spans         []pageSpan
+	numPages      int
+	touched       int
 	nextVA        int64
 	nextRegionID  int
 	retiredFrames int
+}
+
+// pageSpan is one region's slice of the global PageID space.
+type pageSpan struct {
+	base PageID
+	n    int
+	r    *Region
 }
 
 // NumRegions returns how many regions were ever mapped (unmapped regions
@@ -397,20 +516,17 @@ func (a *AddressSpace) Map(name string, size int64) *Region {
 	n := int((size + a.PageSize - 1) / a.PageSize)
 	r := &Region{ID: a.nextRegionID, Name: name, Start: a.nextVA, PageSize: a.PageSize}
 	a.nextRegionID++
-	r.Pages = make([]*Page, n)
-	base := PageID(len(a.pages))
-	// One backing array for the whole region: multi-hundred-GB mappings
-	// create hundreds of thousands of pages, and allocating each Page
-	// individually is what the GC then spends the run scanning.
-	backing := make([]Page, n)
-	for i := 0; i < n; i++ {
-		p := &backing[i]
-		p.ID, p.Region, p.Index, p.Tier = base+PageID(i), r, i, TierNone
-		r.Pages[i] = p
-		a.pages = append(a.pages, p)
-	}
+	r.n = n
+	r.base = PageID(a.numPages)
+	r.space = a
+	// Page metadata materializes lazily in 64-page chunks (see PageAt);
+	// mapping a terabyte costs one pointer per chunk window, not a Page
+	// per 2 MB.
+	r.chunks = make([]*pageChunk, (n+chunkPages-1)/chunkPages)
 	r.counts = make([]int, NumTiers())
 	r.counts[TierNone] = n
+	a.spans = append(a.spans, pageSpan{base: r.base, n: n, r: r})
+	a.numPages += n
 	a.nextVA += int64(n) * a.PageSize
 	a.Regions = append(a.Regions, r)
 	return r
@@ -422,7 +538,7 @@ func (a *AddressSpace) Map(name string, size int64) *Region {
 // in; the active tier manager must have released its own tracking first
 // (see machine.Machine.Unmap).
 func (a *AddressSpace) Unmap(r *Region) {
-	for _, p := range r.Pages {
+	r.EachPage(func(p *Page) {
 		if p.set0 != nil {
 			removePageFromSet(p.set0, p)
 		}
@@ -433,7 +549,7 @@ func (a *AddressSpace) Unmap(r *Region) {
 			removePageFromSet(p.setsOv[0], p)
 		}
 		p.SetTier(TierNone)
-	}
+	})
 	for i, reg := range a.Regions {
 		if reg == r {
 			a.Regions = append(a.Regions[:i], a.Regions[i+1:]...)
@@ -452,11 +568,50 @@ func removePageFromSet(s *PageSet, p *Page) {
 	}
 }
 
-// Page returns the page with the given global ID.
-func (a *AddressSpace) Page(id PageID) *Page { return a.pages[id] }
+// Page returns the page with the given global ID, materializing its
+// metadata if needed. IDs from unmapped regions still resolve (the page is
+// in TierNone with no sets).
+func (a *AddressSpace) Page(id PageID) *Page {
+	lo, hi := 0, len(a.spans)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s := &a.spans[mid]; id >= s.base+PageID(s.n) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	s := &a.spans[lo]
+	return s.r.PageAt(int(id - s.base))
+}
 
-// NumPages returns the total number of pages mapped.
-func (a *AddressSpace) NumPages() int { return len(a.pages) }
+// NumPages returns the total number of pages ever mapped (unmapped
+// regions keep their IDs, so this never shrinks).
+func (a *AddressSpace) NumPages() int { return a.numPages }
+
+// TouchedPages returns how many pages across all spans (including
+// unmapped ones) have materialized metadata.
+func (a *AddressSpace) TouchedPages() int { return a.touched }
+
+// MetadataBytes returns the deterministic footprint of the page-metadata
+// slabs: materialized chunks plus the per-region chunk-pointer tables.
+// It is an accounting figure (what the sparse representation pays for the
+// pages touched so far), not a live heap measurement, so dense-vs-sparse
+// comparisons are reproducible across runs and hosts.
+func (a *AddressSpace) MetadataBytes() int64 {
+	const pageBytes = int64(unsafe.Sizeof(Page{}))
+	const ptrBytes = int64(unsafe.Sizeof((*pageChunk)(nil)))
+	var total int64
+	for _, s := range a.spans {
+		total += int64(len(s.r.chunks)) * ptrBytes
+		for _, c := range s.r.chunks {
+			if c != nil {
+				total += chunkPages * pageBytes
+			}
+		}
+	}
+	return total
+}
 
 // RetireFrame records that the physical frame backing p suffered an
 // uncorrectable media error (or crossed the correctable-error retirement
@@ -474,7 +629,7 @@ func (a *AddressSpace) RetireFrame(p *Page) {
 func (a *AddressSpace) RetiredFrames() int { return a.retiredFrames }
 
 // TotalBytes returns the bytes mapped across all regions.
-func (a *AddressSpace) TotalBytes() int64 { return int64(len(a.pages)) * a.PageSize }
+func (a *AddressSpace) TotalBytes() int64 { return int64(a.numPages) * a.PageSize }
 
 // ScanModel is the cost model for page-table access/dirty-bit scanning and
 // the TLB shootdowns required when clearing bits (§2.3, Figure 3).

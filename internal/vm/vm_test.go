@@ -10,8 +10,8 @@ import (
 func TestMapCreatesPages(t *testing.T) {
 	a := NewAddressSpace(2 * sim.MB)
 	r := a.Map("heap", 10*sim.MB)
-	if len(r.Pages) != 5 {
-		t.Fatalf("pages = %d, want 5", len(r.Pages))
+	if r.NumPages() != 5 {
+		t.Fatalf("pages = %d, want 5", r.NumPages())
 	}
 	if r.Size() != 10*sim.MB {
 		t.Fatalf("size = %d", r.Size())
@@ -21,14 +21,14 @@ func TestMapCreatesPages(t *testing.T) {
 	}
 	// Rounds up partial pages.
 	r2 := a.Map("odd", 3*sim.MB)
-	if len(r2.Pages) != 2 {
-		t.Fatalf("odd-sized region pages = %d, want 2", len(r2.Pages))
+	if r2.NumPages() != 2 {
+		t.Fatalf("odd-sized region pages = %d, want 2", r2.NumPages())
 	}
 	if a.NumPages() != 7 {
 		t.Fatalf("NumPages = %d, want 7", a.NumPages())
 	}
 	// Global IDs resolve.
-	for _, p := range r2.Pages {
+	for _, p := range r2.AllPages() {
 		if a.Page(p.ID) != p {
 			t.Fatal("Page(ID) mismatch")
 		}
@@ -42,11 +42,11 @@ func TestMapCreatesPages(t *testing.T) {
 func TestSetTierMaintainsCounts(t *testing.T) {
 	a := NewAddressSpace(2 * sim.MB)
 	r := a.Map("heap", 20*sim.MB)
-	hot := NewPageSet("hot", r.Pages[:4])
+	hot := NewPageSet("hot", r.AllPages()[:4])
 
-	r.Pages[0].SetTier(TierDRAM)
-	r.Pages[1].SetTier(TierNVM)
-	r.Pages[5].SetTier(TierNVM)
+	r.PageAt(0).SetTier(TierDRAM)
+	r.PageAt(1).SetTier(TierNVM)
+	r.PageAt(5).SetTier(TierNVM)
 
 	if r.Count(TierDRAM) != 1 || r.Count(TierNVM) != 2 || r.Count(TierNone) != 7 {
 		t.Fatalf("region counts = %d/%d/%d", r.Count(TierDRAM), r.Count(TierNVM), r.Count(TierNone))
@@ -55,12 +55,12 @@ func TestSetTierMaintainsCounts(t *testing.T) {
 		t.Fatalf("set counts = %d/%d", hot.Count(TierDRAM), hot.Count(TierNVM))
 	}
 	// Idempotent.
-	r.Pages[0].SetTier(TierDRAM)
+	r.PageAt(0).SetTier(TierDRAM)
 	if r.Count(TierDRAM) != 1 {
 		t.Fatal("SetTier not idempotent")
 	}
 	// Move between tiers.
-	r.Pages[0].SetTier(TierNVM)
+	r.PageAt(0).SetTier(TierNVM)
 	if r.Count(TierDRAM) != 0 || r.Count(TierNVM) != 3 {
 		t.Fatal("tier move miscounted")
 	}
@@ -72,10 +72,10 @@ func TestSetTierMaintainsCounts(t *testing.T) {
 func TestPageSetAddRemove(t *testing.T) {
 	a := NewAddressSpace(2 * sim.MB)
 	r := a.Map("heap", 8*sim.MB)
-	for _, p := range r.Pages {
+	for _, p := range r.AllPages() {
 		p.SetTier(TierDRAM)
 	}
-	s := NewPageSet("s", r.Pages)
+	s := NewPageSet("s", r.AllPages())
 	if s.Len() != 4 || s.Count(TierDRAM) != 4 {
 		t.Fatalf("set len/count = %d/%d", s.Len(), s.Count(TierDRAM))
 	}
@@ -104,9 +104,9 @@ func TestSetCountConservation(t *testing.T) {
 	f := func(moves []uint16) bool {
 		a := NewAddressSpace(2 * sim.MB)
 		r := a.Map("heap", 64*sim.MB) // 32 pages
-		s := NewPageSet("s", r.Pages[8:24])
+		s := NewPageSet("s", r.AllPages()[8:24])
 		for _, mv := range moves {
-			p := r.Pages[int(mv)%len(r.Pages)]
+			p := r.PageAt(int(mv) % r.NumPages())
 			p.SetTier(Tier(int(mv/64)%3 + 0)) // TierNone..TierNVM
 		}
 		var want [3]int
@@ -223,13 +223,13 @@ func TestTierStringRoundTrip(t *testing.T) {
 func TestCountsGrowAcrossRegistration(t *testing.T) {
 	a := NewAddressSpace(2 * sim.MB)
 	r := a.Map("heap", 10*sim.MB)
-	s := NewPageSet("all", r.Pages)
+	s := NewPageSet("all", r.AllPages())
 	late := RegisterTier("late-test")
-	r.Pages[0].SetTier(late)
+	r.PageAt(0).SetTier(late)
 	if r.Count(late) != 1 || s.Count(late) != 1 {
 		t.Fatalf("late-tier counts = %d/%d, want 1/1", r.Count(late), s.Count(late))
 	}
-	if r.Count(TierNone) != len(r.Pages)-1 {
+	if r.Count(TierNone) != r.NumPages()-1 {
 		t.Fatalf("TierNone count = %d", r.Count(TierNone))
 	}
 }
