@@ -2,7 +2,7 @@
 # build, and the test suite under the race detector.
 
 GO ?= go
-BENCH_OUT ?= BENCH_pr8.json
+BENCH_OUT ?= BENCH_pr9.json
 
 .PHONY: check vet build test race bench soak
 
@@ -18,7 +18,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 
 # Simulator performance harness: GUPS/KVS/GAP scenarios plus the sweep
 # engine (full suite serial vs parallel, outputs byte-compared),

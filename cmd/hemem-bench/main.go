@@ -27,6 +27,9 @@
 //	                               whose goldens pin the fixed schedule)
 //	hemem-bench -exp tiers -quantum 500us
 //	                               override the fixed step quantum
+//	hemem-bench -exp fleet -tenants 24 -qos gold
+//	                               size the fleet's per-machine tenant
+//	                               population and pin its QoS class mix
 //	hemem-bench -exp fig5 -cpuprofile cpu.pprof -memprofile mem.pprof
 //	                               write pprof profiles of the run
 package main
@@ -78,6 +81,8 @@ func main() {
 		audit      = flag.Bool("audit", false, "run the invariant auditor every quantum on every machine (panics with a diagnostic dump on a violation)")
 		quantum    = flag.Duration("quantum", 0, "override the machine step quantum (e.g. 500us, 2ms); 0 keeps the default 1ms")
 		adaptive   = flag.Bool("adaptive", false, "run machines on the event-driven adaptive-quantum loop (rejected for golden-pinned experiments)")
+		tenants    = flag.Int("tenants", 0, "fleet experiment: tenants per machine (0 = scale default)")
+		qos        = flag.String("qos", "", "fleet experiment: pin every tenant to one QoS class (gold, silver, besteffort)")
 		perf       = flag.Bool("perf", false, "run the simulator performance harness")
 		out        = flag.String("out", "", "with -perf: write the JSON report to this file (default stdout)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -121,9 +126,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hemem-bench: -quantum must be a positive duration")
 		os.Exit(2)
 	}
+	if *qos != "" {
+		if _, ok := machine.ParseQoS(*qos); !ok {
+			fmt.Fprintf(os.Stderr, "hemem-bench: unknown -qos class %q (valid: %s)\n", *qos, strings.Join(machine.QoSNames(), ", "))
+			os.Exit(2)
+		}
+	}
+	if *tenants < 0 {
+		fmt.Fprintln(os.Stderr, "hemem-bench: -tenants must be non-negative")
+		os.Exit(2)
+	}
 	opts := bench.Opts{
 		Full: *full, Seed: *seed, Jobs: *jobs, Tracker: *tracker, Policy: *policy,
 		Quantum: quantum.Nanoseconds(), Adaptive: *adaptive,
+		Tenants: *tenants, QoS: *qos,
 	}
 	if *verbose {
 		opts.Progress = os.Stderr

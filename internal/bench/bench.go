@@ -53,6 +53,12 @@ type Opts struct {
 	// The CLI rejects it for experiments whose goldens pin the fixed
 	// step schedule.
 	Adaptive bool
+	// Tenants overrides the fleet experiment's tenants per machine; 0
+	// keeps the scale default. Other experiments ignore it.
+	Tenants int
+	// QoS restricts the fleet experiment's tenant mix to a single class
+	// ("gold", "silver", "besteffort"); empty keeps the mixed fleet.
+	QoS string
 }
 
 // machineConfig is the default machine config with the run's quantum and

@@ -12,7 +12,7 @@ func TestRegistryComplete(t *testing.T) {
 		"tab1", "fig1", "fig2", "fig3",
 		"fig5", "fig6", "fig7", "tab2", "fig8", "fig9", "fig10", "fig11", "fig12",
 		"fig13", "tab3", "tab4", "fig14", "fig15", "fig16",
-		"ext-swap", "tiers", "chaos", "trackers", "tbscale",
+		"ext-swap", "tiers", "chaos", "trackers", "tbscale", "fleet",
 	}
 	if len(All()) != len(want) {
 		t.Fatalf("registered %d experiments, want %d", len(All()), len(want))

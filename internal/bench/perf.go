@@ -248,6 +248,28 @@ func perfTBScale(adaptive bool) func(seed uint64) perfOutcome {
 	}
 }
 
+// perfFleet runs one fleet machine — churning QoS tenants through
+// admission, the weighted-fair selectors, drain-on-departure, and the
+// per-quantum auditor — so regressions in the tenant path (score scans,
+// per-tenant accounting, audit cost) show up in the report.
+func perfFleet(seed uint64) perfOutcome {
+	o := Opts{}
+	classes, _ := fleetClasses(o)
+	const span = 8 * sim.Second
+	r := fleetMachine(o, CellInfo{Exp: "perf-fleet", Seed: seed}, classes, 12, span)
+	dg := uint64(digestSeed)
+	for cl := 0; cl < machine.NumQoSClasses; cl++ {
+		dg = mix(dg, r.hist[cl].Count())
+		dg = mix(dg, math.Float64bits(r.hist[cl].Quantile(0.99)))
+		dg = mix(dg, uint64(r.dramBytes[cl]))
+		dg = mix(dg, uint64(r.mig[cl]))
+	}
+	dg = mix(dg, uint64(r.stats.Admitted))
+	dg = mix(dg, uint64(r.stats.Queued))
+	dg = mix(dg, uint64(r.stats.Departed))
+	return perfOutcome{simNS: span, score: r.hist[machine.Gold].Quantile(0.99), digest: dg}
+}
+
 type countingWriter struct{ n int }
 
 func (c *countingWriter) Write(p []byte) (int, error) { c.n += len(p); return len(p), nil }
@@ -258,6 +280,7 @@ var perfCases = []perfCase{
 	{"gap-bc", perfGAP},
 	{"tbscale-dense", perfTBScale(false)},
 	{"tbscale-adaptive", perfTBScale(true)},
+	{"fleet", perfFleet},
 }
 
 // RunPerf executes every perf scenario twice — once to check seeded

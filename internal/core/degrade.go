@@ -131,12 +131,7 @@ func (h *HeMem) evacuate(budget int64) int64 {
 			continue
 		}
 		for budget > 0 {
-			hotPage := true
-			pi := h.hot[i].PopFront()
-			if pi == nil {
-				hotPage = false
-				pi = h.cold[i].PopFront()
-			}
+			pi, hotPage := h.popEvacVictim(i)
 			if pi == nil {
 				break
 			}

@@ -232,6 +232,11 @@ type HeMem struct {
 	tracker Tracker
 	pol     Policy
 
+	// tenants is the QoS quota table (tenant.go), nil until the machine
+	// runtime reports the first admission. While nil, every victim and
+	// promotion selector reduces to the historical FIFO pop.
+	tenants *TenantTable
+
 	// pages maps PageID to tracking state through a sparse windowed
 	// index: nil windows (and nil entries) are unmanaged. Window
 	// granularity keeps the index O(touched pages), matching vm's lazy
@@ -670,7 +675,7 @@ func (h *HeMem) PageIn(p *vm.Page) {
 		// tier takes the page unconditionally (the kernel path never
 		// swaps).
 		for i := 0; i < last; i++ {
-			if !h.offlineAt(i) && h.used[h.chain[i]]+ps <= h.caps[i] {
+			if !h.offlineAt(i) && h.used[h.chain[i]]+ps <= h.caps[i] && h.placeAllowed(p, h.chain[i]) {
 				h.addUsed(h.chain[i], ps)
 				p.SetTier(h.chain[i])
 				return
@@ -693,7 +698,7 @@ func (h *HeMem) PageIn(p *vm.Page) {
 		start = r
 	}
 	for i := start; i < last; i++ {
-		if !h.offlineAt(i) && h.used[h.chain[i]]+ps <= h.caps[i] {
+		if !h.offlineAt(i) && h.used[h.chain[i]]+ps <= h.caps[i] && h.placeAllowed(p, h.chain[i]) {
 			h.addUsed(h.chain[i], ps)
 			p.SetTier(h.chain[i])
 			h.pol.PagePlaced(pi)
@@ -799,15 +804,14 @@ func (h *HeMem) migrateTick(budget int64) {
 	for ai := 0; ai < lastA; ai++ {
 		i, down := act[ai], act[ai+1]
 		for h.free(i) < h.freeTarget[i] && budget > 0 {
-			victim := h.cold[i].PopFront()
+			victim := h.popColdVictim(i)
 			if victim == nil {
 				// No cold data: evict from the back of the hot list
 				// ("HeMem migrates random data to NVM", §3.3).
-				victim = h.hot[i].Back()
+				victim = h.popHotBackVictim(i)
 				if victim == nil {
 					break
 				}
-				h.hot[i].Remove(victim)
 			}
 			h.demote(victim, h.chain[down])
 			budget -= ps
@@ -827,7 +831,7 @@ func (h *HeMem) migrateTick(budget int64) {
 	for ai := 0; ai < lastA; ai++ {
 		i, down := act[ai], act[ai+1]
 		for budget > 0 {
-			cand := h.hot[down].Front()
+			cand := h.promoteCandidate(down, h.chain[i])
 			if cand == nil {
 				break
 			}
@@ -837,7 +841,7 @@ func (h *HeMem) migrateTick(budget int64) {
 				budget -= ps
 				continue
 			}
-			victim := h.cold[i].PopFront()
+			victim := h.popColdVictim(i)
 			if victim == nil {
 				// Hot set ≥ tier capacity: stop migrating (§3.3).
 				break

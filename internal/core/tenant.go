@@ -1,0 +1,332 @@
+// Multi-tenant QoS: the TenantTable mirrors the machine runtime's
+// lifecycle callbacks into the manager, and the weighted-fair selectors
+// below layer tenant awareness over the shared hot/cold FIFO fabric.
+// The queues stay shared — policies keep pushing through
+// hotList/coldList untouched — and tenancy only changes *which* entry a
+// bounded deterministic scan picks instead of the FIFO head. A manager
+// that never sees OnTenantAdmit keeps h.tenants nil and every selector
+// degrades to the exact historical pop, so the zero-tenant path is
+// byte-identical (pinned by the PR-4 goldens).
+package core
+
+import (
+	"github.com/tieredmem/hemem/internal/machine"
+	"github.com/tieredmem/hemem/internal/vm"
+)
+
+// TenantTable is the manager's view of admitted tenants: QoS class and
+// per-tier quota (soft reservation + hard cap) per TenantID, dense like
+// the vm occupancy table. Departed tenants keep their slot, inactive.
+type TenantTable struct {
+	specs  []machine.TenantSpec
+	active []bool
+}
+
+// set records an admission.
+func (tt *TenantTable) set(id vm.TenantID, spec machine.TenantSpec) {
+	for int(id) > len(tt.specs) {
+		tt.specs = append(tt.specs, machine.TenantSpec{})
+		tt.active = append(tt.active, false)
+	}
+	tt.specs[id-1] = spec
+	tt.active[id-1] = true
+}
+
+// depart deactivates a tenant.
+func (tt *TenantTable) depart(id vm.TenantID) {
+	if id > 0 && int(id) <= len(tt.active) {
+		tt.active[id-1] = false
+	}
+}
+
+// SpecOf returns tenant id's spec; ok is false for unknown or departed
+// tenants.
+func (tt *TenantTable) SpecOf(id vm.TenantID) (machine.TenantSpec, bool) {
+	if id <= 0 || int(id) > len(tt.specs) || !tt.active[id-1] {
+		return machine.TenantSpec{}, false
+	}
+	return tt.specs[id-1], true
+}
+
+// NumTenants returns how many tenant IDs the table has seen.
+func (tt *TenantTable) NumTenants() int { return len(tt.specs) }
+
+// ActiveCount returns how many tenants are currently active.
+func (tt *TenantTable) ActiveCount() int {
+	n := 0
+	for _, a := range tt.active {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// OnTenantAdmit implements machine.TenantManager: the first admission
+// materializes the table and flips every selector into QoS mode.
+func (h *HeMem) OnTenantAdmit(id vm.TenantID, spec machine.TenantSpec) {
+	if h.tenants == nil {
+		h.tenants = &TenantTable{}
+	}
+	h.tenants.set(id, spec)
+}
+
+// OnTenantDepart implements machine.TenantManager.
+func (h *HeMem) OnTenantDepart(id vm.TenantID) {
+	if h.tenants != nil {
+		h.tenants.depart(id)
+	}
+}
+
+// Tenants returns the manager's tenant table (nil when no tenant was
+// ever admitted).
+func (h *HeMem) Tenants() *TenantTable { return h.tenants }
+
+// tenantScanLimit bounds the selector scans: a pick considers at most
+// this many FIFO entries, keeping the policy tick O(limit) per move
+// regardless of list length. The FIFO head still wins all ties, so the
+// historical eviction order survives within a score class.
+const tenantScanLimit = 256
+
+// Demotion-victim score bands. Bands are spaced wider than the maximum
+// class term so pressure order is strict: over-hard-cap pages first,
+// then over-reservation, then untenanted, and under-reservation pages
+// only when nothing else remains. Within a band, lower classes score
+// higher (demote first) and — via the usage skew — tenants holding more
+// of the tier demote before tenants holding less, which is what drives
+// equal-class fairness convergence.
+const (
+	bandUnderReserve = 1_000_000
+	bandUntenanted   = 1_500_000
+	bandOverReserve  = 2_000_000
+	bandOverCap      = 3_000_000
+	classStep        = 50_000
+	skewClamp        = 40_000
+)
+
+// tenantUsage returns tenant o's resident bytes on tier t.
+func (h *HeMem) tenantUsage(o vm.TenantID, t vm.Tier) int64 {
+	return h.m.AS.TenantBytes(o, t)
+}
+
+// demoteScore ranks a page for demotion off tier t; higher demotes
+// first.
+func (h *HeMem) demoteScore(o vm.TenantID, t vm.Tier) int64 {
+	if o == vm.TenantNone {
+		return bandUntenanted
+	}
+	spec, ok := h.tenants.SpecOf(o)
+	if !ok {
+		// Departed-tenant residue drains like untenanted pages.
+		return bandUntenanted
+	}
+	usage := h.tenantUsage(o, t)
+	var band int64
+	switch {
+	case spec.Cap[t] > 0 && usage > spec.Cap[t]:
+		band = bandOverCap
+	case usage > spec.Reserve[t]:
+		band = bandOverReserve
+	default:
+		band = bandUnderReserve
+	}
+	w := int64(spec.Class.Weight())
+	skew := usage / h.m.Cfg.PageSize / w
+	if skew > skewClamp {
+		skew = skewClamp
+	}
+	return band - w*classStep + skew
+}
+
+// promoteScore ranks a hot page for promotion onto tier dst; higher
+// promotes first: class-major (gold before silver before besteffort,
+// untenanted between silver and besteffort), tenants still under their
+// reservation on dst next, and — inverse usage skew — tenants holding
+// less of dst before tenants holding more.
+func (h *HeMem) promoteScore(o vm.TenantID, dst vm.Tier) int64 {
+	if o == vm.TenantNone {
+		return 1_500_000
+	}
+	spec, ok := h.tenants.SpecOf(o)
+	if !ok {
+		return 1_500_000
+	}
+	w := int64(spec.Class.Weight())
+	s := w * 1_000_000
+	usage := h.tenantUsage(o, dst)
+	if usage < spec.Reserve[dst] {
+		s += 500_000
+	}
+	skew := usage / h.m.Cfg.PageSize / w
+	if skew > skewClamp {
+		skew = skewClamp
+	}
+	return s - skew
+}
+
+// capAllows reports whether tenant o may take one more page on tier t
+// under its hard cap (always true for untenanted pages, capless specs,
+// and machines without tenants).
+func (h *HeMem) capAllows(o vm.TenantID, t vm.Tier) bool {
+	if h.tenants == nil || o == vm.TenantNone {
+		return true
+	}
+	spec, ok := h.tenants.SpecOf(o)
+	if !ok || spec.Cap[t] <= 0 {
+		return true
+	}
+	return h.tenantUsage(o, t)+h.m.Cfg.PageSize <= spec.Cap[t]
+}
+
+// placeAllowed gates first-touch placement of p on tier t by its
+// owner's hard cap. The slowest tier still accepts overflow
+// unconditionally — a page must land somewhere.
+func (h *HeMem) placeAllowed(p *vm.Page, t vm.Tier) bool {
+	if h.tenants == nil {
+		return true
+	}
+	return h.capAllows(p.Region.Owner(), t)
+}
+
+// scanBestFront walks up to limit entries from the list head and
+// returns the eligible entry with the strictly highest score (earliest
+// wins ties, preserving FIFO order within a score class), or nil.
+func scanBestFront(l *List, limit int, score func(pi *PageInfo) (int64, bool)) *PageInfo {
+	var best *PageInfo
+	var bestScore int64
+	for pi, i := l.Front(), 0; pi != nil && i < limit; pi, i = pi.next, i+1 {
+		if s, ok := score(pi); ok && (best == nil || s > bestScore) {
+			best, bestScore = pi, s
+		}
+	}
+	return best
+}
+
+// scanBestBack is scanBestFront from the tail (the historical fallback
+// victim position in the watermark loop).
+func scanBestBack(l *List, limit int, score func(pi *PageInfo) (int64, bool)) *PageInfo {
+	var best *PageInfo
+	var bestScore int64
+	for pi, i := l.Back(), 0; pi != nil && i < limit; pi, i = pi.prev, i+1 {
+		if s, ok := score(pi); ok && (best == nil || s > bestScore) {
+			best, bestScore = pi, s
+		}
+	}
+	return best
+}
+
+// popColdVictim removes and returns the next demotion victim from chain
+// position i's cold list: the FIFO head without tenants, the highest
+// demotion score within the scan window with them.
+func (h *HeMem) popColdVictim(i int) *PageInfo {
+	if h.tenants == nil {
+		return h.cold[i].PopFront()
+	}
+	t := h.chain[i]
+	best := scanBestFront(&h.cold[i], tenantScanLimit, func(pi *PageInfo) (int64, bool) {
+		return h.demoteScore(pi.Page.Region.Owner(), t), true
+	})
+	if best != nil {
+		h.cold[i].Remove(best)
+	}
+	return best
+}
+
+// popHotBackVictim removes and returns the watermark loop's fallback
+// victim from chain position i's hot list: the FIFO tail without
+// tenants ("HeMem migrates random data to NVM", §3.3), the highest
+// demotion score within the tail-side scan window with them.
+func (h *HeMem) popHotBackVictim(i int) *PageInfo {
+	if h.tenants == nil {
+		pi := h.hot[i].Back()
+		if pi != nil {
+			h.hot[i].Remove(pi)
+		}
+		return pi
+	}
+	t := h.chain[i]
+	best := scanBestBack(&h.hot[i], tenantScanLimit, func(pi *PageInfo) (int64, bool) {
+		return h.demoteScore(pi.Page.Region.Owner(), t), true
+	})
+	if best != nil {
+		h.hot[i].Remove(best)
+	}
+	return best
+}
+
+// promoteCandidate returns (without removing) the next promotion
+// candidate from chain position down's hot list, destined for tier dst:
+// the FIFO head without tenants; with them, the highest promotion score
+// within the scan window among owners whose hard cap on dst allows
+// another page. Nil means nothing (eligible) to promote.
+func (h *HeMem) promoteCandidate(down int, dst vm.Tier) *PageInfo {
+	if h.tenants == nil {
+		return h.hot[down].Front()
+	}
+	return scanBestFront(&h.hot[down], tenantScanLimit, func(pi *PageInfo) (int64, bool) {
+		o := pi.Page.Region.Owner()
+		if !h.capAllows(o, dst) {
+			return 0, false
+		}
+		return h.promoteScore(o, dst), true
+	})
+}
+
+// evacRank orders evacuation off an offline tier: besteffort tenants
+// leave first, then untenanted pages, then silver, then gold — the
+// most-protected class keeps its (soon to be re-placed) pages queued
+// behind everyone else so survivors' capacity pressure lands on the
+// cheap classes first.
+func (h *HeMem) evacRank(o vm.TenantID) int64 {
+	if o == vm.TenantNone {
+		return 1
+	}
+	spec, ok := h.tenants.SpecOf(o)
+	if !ok {
+		return 1
+	}
+	switch spec.Class {
+	case machine.BestEffort:
+		return 0
+	case machine.Silver:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// popEvacVictim removes and returns the next page to drain off offline
+// chain position i, reporting whether it came from the hot list.
+// Without tenants it is the historical hot-then-cold FIFO pop; with
+// them, the lowest QoS class in either scan window goes first
+// (besteffort before untenanted before silver before gold), hot
+// preferred on ties since hot pages throttle the application hardest.
+func (h *HeMem) popEvacVictim(i int) (*PageInfo, bool) {
+	if h.tenants == nil {
+		if pi := h.hot[i].PopFront(); pi != nil {
+			return pi, true
+		}
+		return h.cold[i].PopFront(), false
+	}
+	score := func(pi *PageInfo) (int64, bool) {
+		return -h.evacRank(pi.Page.Region.Owner()), true
+	}
+	hotBest := scanBestFront(&h.hot[i], tenantScanLimit, score)
+	coldBest := scanBestFront(&h.cold[i], tenantScanLimit, score)
+	switch {
+	case hotBest == nil && coldBest == nil:
+		return nil, false
+	case coldBest == nil:
+		h.hot[i].Remove(hotBest)
+		return hotBest, true
+	case hotBest == nil:
+		h.cold[i].Remove(coldBest)
+		return coldBest, false
+	}
+	if h.evacRank(coldBest.Page.Region.Owner()) < h.evacRank(hotBest.Page.Region.Owner()) {
+		h.cold[i].Remove(coldBest)
+		return coldBest, false
+	}
+	h.hot[i].Remove(hotBest)
+	return hotBest, true
+}

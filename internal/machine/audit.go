@@ -68,6 +68,15 @@ func (v AuditViolation) String() string { return v.Rule + ": " + v.Detail }
 //     equal that total.
 //   - evac-done: an offline tier whose evacuation is recorded complete
 //     has no resident pages and no inbound queued migration.
+//   - tenant-counts: the address space's per-tenant occupancy table
+//     equals a recount over owned regions, per tenant and tier.
+//   - tenant-conservation: per tier, the tenant occupancy sums to the
+//     pages of owned regions resident there (nothing charged to a
+//     tenant that isn't resident, nothing owned that isn't charged).
+//   - tenant-orphan: no region owned by a departed tenant remains
+//     mapped (teardown bugs leak here first).
+//
+// The tenant rules run only on machines with a tenant runtime.
 //
 // Audit never mutates machine state; Step panics with auditDump on the
 // first non-empty return.
@@ -190,6 +199,10 @@ func (m *Machine) Audit() []AuditViolation {
 			fmt.Sprintf("promotions %d + demotions %d ≠ pages %d", st.Promotions, st.Demotions, st.Pages)})
 	}
 
+	if m.tenants != nil {
+		vs = append(vs, m.auditTenants()...)
+	}
+
 	// Completed evacuations stay drained while the tier is offline.
 	for _, td := range m.Cfg.Tiers {
 		t := td.ID
@@ -213,6 +226,61 @@ func (m *Machine) Audit() []AuditViolation {
 		}
 	}
 
+	return vs
+}
+
+// auditTenants verifies the tenant conservation invariants (see Audit's
+// rule list): the per-tenant occupancy table against a recount of owned
+// regions, the per-tier tenant sums against owned-region residency, and
+// the absence of regions still mapped for departed tenants.
+func (m *Machine) auditTenants() []AuditViolation {
+	var vs []AuditViolation
+	nt := m.AS.NumTenants()
+	recount := make([][vm.MaxTiers]int, nt)
+	var owned [vm.MaxTiers]int
+	for _, r := range m.AS.Regions {
+		o := r.Owner()
+		if o == vm.TenantNone {
+			continue
+		}
+		if m.tenants.Departed(o) {
+			vs = append(vs, AuditViolation{"tenant-orphan",
+				fmt.Sprintf("region %s still mapped for departed tenant %d", r.Name, o)})
+		}
+		if int(o) > nt {
+			vs = append(vs, AuditViolation{"tenant-counts",
+				fmt.Sprintf("region %s owned by tenant %d beyond the occupancy table (%d tenants)", r.Name, o, nt)})
+			continue
+		}
+		rc := &recount[o-1]
+		r.EachPage(func(p *vm.Page) {
+			if int(p.Tier) >= 0 && int(p.Tier) < vm.MaxTiers {
+				rc[p.Tier]++
+				owned[p.Tier]++
+			}
+		})
+		untouched := r.NumPages() - r.TouchedPages()
+		rc[vm.TierNone] += untouched
+		owned[vm.TierNone] += untouched
+	}
+	var sum [vm.MaxTiers]int
+	for id := vm.TenantID(1); int(id) <= nt; id++ {
+		for t := vm.Tier(0); int(t) < vm.NumTiers() && int(t) < vm.MaxTiers; t++ {
+			got := m.AS.TenantPages(id, t)
+			sum[t] += got
+			if got != recount[id-1][t] {
+				vs = append(vs, AuditViolation{"tenant-counts",
+					fmt.Sprintf("tenant %d: counter says %d pages in %v, recount says %d",
+						id, got, t, recount[id-1][t])})
+			}
+		}
+	}
+	for t := vm.Tier(0); int(t) < vm.NumTiers() && int(t) < vm.MaxTiers; t++ {
+		if sum[t] != owned[t] {
+			vs = append(vs, AuditViolation{"tenant-conservation",
+				fmt.Sprintf("%v: tenant occupancy sums to %d pages, owned regions hold %d", t, sum[t], owned[t])})
+		}
+	}
 	return vs
 }
 

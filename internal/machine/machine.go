@@ -183,6 +183,10 @@ type workloadMeta struct {
 	// horizon scan does not re-assert per step; nil when w gives no
 	// phase hints.
 	hinter PhaseHinter
+	// tenant is the owning tenant when the workload was registered via
+	// AddWorkloadFor; its per-op latencies feed that tenant's SLO
+	// histogram. TenantNone for ordinary workloads.
+	tenant vm.TenantID
 }
 
 // Releaser is implemented by managers that support region teardown:
@@ -499,6 +503,10 @@ type Machine struct {
 	auditing  bool
 	auditsRun int64
 
+	// tenants is the multi-tenant runtime (EnableTenants); nil on
+	// single-tenant machines, which therefore skip every tenant branch.
+	tenants *TenantRuntime
+
 	rates     map[*vm.PageSet]*SetRates
 	rateOrder []*vm.PageSet
 
@@ -757,6 +765,10 @@ func (m *Machine) TouchRange(r *vm.Region, lo, hi int) int {
 
 // Faults returns the number of page-missing faults taken so far.
 func (m *Machine) Faults() int64 { return m.faults }
+
+// AuditsRun returns how many per-quantum invariant audits have executed
+// (0 unless the auditor is enabled).
+func (m *Machine) AuditsRun() int64 { return m.auditsRun }
 
 // Unmap tears down region r (munmap): the manager releases its tracking
 // and accounting (if it implements Releaser), the pages leave every page
@@ -1102,6 +1114,9 @@ func (m *Machine) stepBody(now, dt int64) {
 		ops := s.rate * float64(dt)
 		s.meta.totalOps += ops
 		s.w.OnOps(now, ops, s.time)
+		if m.tenants != nil && s.meta.tenant != vm.TenantNone {
+			m.tenants.recordOps(s.meta.tenant, ops, s.time)
+		}
 		for j := range s.comps {
 			c := &s.comps[j]
 			occ := ops * c.Share

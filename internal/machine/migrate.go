@@ -346,6 +346,11 @@ func (g *Migrator) complete(req *migReq) {
 	}
 	g.stats.Pages++
 	page := req.page
+	if tr := g.m.tenants; tr != nil {
+		if o := page.Region.Owner(); o != vm.TenantNone {
+			tr.noteMigration(o)
+		}
+	}
 	page.SetTier(req.dst)
 	page.Migrating = false
 	g.release(req)

@@ -146,6 +146,13 @@ func (t *Telemetry) sample(m *Machine, now int64, stallFrac float64) {
 	for _, wm := range m.wmeta {
 		t.get("workload."+wm.w.Name()+".ops").Append(now, wm.totalOps)
 	}
+	// Per-tenant series exist only on machines with a tenant runtime, so
+	// single-tenant telemetry keeps its exact column set. Each tenant's
+	// series are lazy — created at the first sample after its admission
+	// (possibly mid-run) and frozen at departure.
+	if m.tenants != nil {
+		m.tenants.sampleTelemetry(t, m, now)
+	}
 	// Fault series exist only when injection is enabled, so fault-free
 	// telemetry (and its CSV) is byte-identical to builds without the
 	// fault layer.

@@ -118,6 +118,28 @@ func (h *Histogram) clamp(v float64) float64 {
 	return v
 }
 
+// Merge adds other's observations into h. Buckets are fixed and shared
+// across all histograms, so the merge is exact: quantiles of the merged
+// histogram equal quantiles of the pooled observations (at bucket
+// resolution). The fleet experiment aggregates per-class latency across
+// machines this way.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || other.total == 0 {
+		return
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.total += other.total
+	h.sum += other.sum
+	if other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
 // Reset clears all recorded observations.
 func (h *Histogram) Reset() {
 	for i := range h.counts {

@@ -219,6 +219,9 @@ func (p *Page) SetTier(t Tier) {
 	for _, s := range p.setsOv {
 		s.counts = bump(s.counts, p.Tier, t)
 	}
+	if o := p.Region.owner; o != TenantNone {
+		p.Region.space.bumpTenant(o, p.Tier, t)
+	}
 	p.Tier = t
 }
 
@@ -285,6 +288,12 @@ type Region struct {
 	// counts is indexed by TierID and sized by the tier table. The
 	// TierNone count includes unmaterialized pages.
 	counts []int
+
+	// owner is the tenant this region is charged to, or TenantNone for
+	// untenanted regions (the default: Map never sets it). Owned regions
+	// mirror every tier transition into the address space's per-tenant
+	// occupancy table (see tenant.go).
+	owner TenantID
 }
 
 // Size returns the region length in bytes.
@@ -487,6 +496,12 @@ type AddressSpace struct {
 	nextVA        int64
 	nextRegionID  int
 	retiredFrames int
+
+	// tenants holds one tier-table-sized occupancy counter slice per
+	// tenant ID ever charged in this space (index id-1; see tenant.go).
+	// Like the per-region counts, each slice's TierNone slot includes
+	// unmaterialized pages of owned regions.
+	tenants [][]int
 }
 
 // pageSpan is one region's slice of the global PageID space.
@@ -538,6 +553,7 @@ func (a *AddressSpace) Map(name string, size int64) *Region {
 // in; the active tier manager must have released its own tracking first
 // (see machine.Machine.Unmap).
 func (a *AddressSpace) Unmap(r *Region) {
+	owner := r.owner
 	r.EachPage(func(p *Page) {
 		if p.set0 != nil {
 			removePageFromSet(p.set0, p)
@@ -550,6 +566,15 @@ func (a *AddressSpace) Unmap(r *Region) {
 		}
 		p.SetTier(TierNone)
 	})
+	if owner != TenantNone {
+		// Every page is back in TierNone now (touched pages just moved
+		// there, untouched ones never left), so the tenant's whole charge
+		// for this region sits in the TierNone slot. Drop it, and clear
+		// the owner so stale PageIDs resolving into the dead region can
+		// never bump tenant counters again.
+		a.chargeTenant(owner, TierNone, -r.n)
+		r.owner = TenantNone
+	}
 	for i, reg := range a.Regions {
 		if reg == r {
 			a.Regions = append(a.Regions[:i], a.Regions[i+1:]...)
