@@ -2,9 +2,9 @@
 # build, and the test suite under the race detector.
 
 GO ?= go
-BENCH_OUT ?= BENCH_pr9.json
+BENCH_OUT ?= BENCH_pr10.json
 
-.PHONY: check vet build test race bench soak
+.PHONY: check vet build test race bench soak prof
 
 check: vet build race
 
@@ -26,6 +26,12 @@ race:
 # seeded-determinism checks as JSON.
 bench:
 	$(GO) run ./cmd/hemem-bench -perf -out $(BENCH_OUT)
+
+# Profile the perf harness: CPU + allocation pprof profiles alongside
+# the JSON report (the recipe behind the top-of-profile tables in
+# EXPERIMENTS.md). Inspect with `go tool pprof cpu.pprof`.
+prof:
+	$(GO) run ./cmd/hemem-bench -perf -cpuprofile cpu.pprof -memprofile mem.pprof -out $(BENCH_OUT)
 
 # Bounded chaos soak: the seeded chaos scheduler drives compound fault
 # episodes, correctable-error storms, and CXL offline/online cycles

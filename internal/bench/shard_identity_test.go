@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// The intra-cell shard engine must leave every experiment's rendered
+// output byte-identical at every -shards value: the fleet table (machine
+// groups stepped in lockstep), the tbscale-adaptive series (sparse
+// metadata on the event-driven loop), and the chaos run with its episode
+// log, all under the invariant auditor where the experiment enables it.
+// Serial (-shards 1) is the untouched historical path, so these replays
+// also pin the sharded paths to the pre-shard output.
+func TestShardOutputByteIdentical(t *testing.T) {
+	cases := []struct {
+		name string
+		opts Opts
+		run  func(w io.Writer, o Opts)
+	}{
+		{"fleet", Opts{Tenants: 4}, runFleet},
+		{"tbscale-adaptive", Opts{Adaptive: true}, runTBScale},
+		{"chaos", Opts{}, runChaos},
+	}
+	counts := []int{1, 2, 4, 8}
+	if raceEnabled {
+		// Race instrumentation multiplies the wall clock; one widened
+		// pool per experiment exercises the concurrency shape, and the
+		// full width matrix is covered by the uninstrumented run. The
+		// chaos replay is the most expensive cell and its shard plumbing
+		// is config pass-through only, so the race job drops it.
+		counts = []int{1, 4}
+		cases = cases[:2]
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var base string
+			for i, n := range counts {
+				o := c.opts
+				o.Shards = n
+				var buf bytes.Buffer
+				c.run(&buf, o)
+				if i == 0 {
+					base = buf.String()
+					continue
+				}
+				if got := buf.String(); got != base {
+					t.Fatalf("output differs between -shards %d and -shards %d:\n--- shards=%d ---\n%s\n--- shards=%d ---\n%s",
+						counts[0], n, counts[0], base, n, got)
+				}
+			}
+		})
+	}
+}

@@ -19,6 +19,7 @@ package memmode
 import (
 	"github.com/tieredmem/hemem/internal/machine"
 	"github.com/tieredmem/hemem/internal/mem"
+	"github.com/tieredmem/hemem/internal/shard"
 	"github.com/tieredmem/hemem/internal/sim"
 	"github.com/tieredmem/hemem/internal/vm"
 )
@@ -43,6 +44,18 @@ type zone struct {
 	// accumulate while a new pass overwrites — without a per-quantum
 	// "seen" map allocation.
 	seenGen uint64
+
+	// Incremental scratch-row cache: modelRead/modelWrite stamp the
+	// traffic inputs the cached row was derived from, so refreshModel
+	// skips recomputing perLineRate/dirtyFrac/NewPoissonPrep (the exp(-λ)
+	// transcendental) for zones whose rates are unchanged since the last
+	// pass. The cached values are pure functions of the inputs, so reuse
+	// is byte-identical to recomputation.
+	modelCached bool
+	modelActive bool // cached perLineRate > 0: the zone joins the scratch table
+	modelRead   float64
+	modelWrite  float64
+	modelRow    zoneModel
 }
 
 // zoneModel is one zone's invariant state for a refreshModel pass,
@@ -105,6 +118,21 @@ type MemoryMode struct {
 	// gen counts ObserveTraffic passes; see zone.seenGen.
 	gen       uint64
 	lastModel int64
+	// rowsBuilt/rowsReused count scratch-row recomputations vs cache hits
+	// across refreshModel passes (see zone.modelCached), for tests and
+	// reports.
+	rowsBuilt  int64
+	rowsReused int64
+	// pool is the machine's intra-step worker pool. With >= 2 workers
+	// refreshModel shards target zones across it: each target draws from
+	// its own SplitStable sub-stream of shardRoot keyed by (pass, target
+	// index), so results are identical for every worker count >= 2 — but
+	// they are a different (equally seeded) Monte-Carlo stream than the
+	// serial path, which is pinned bit for bit by the goldens and so
+	// never changes. passes counts sharded refreshes to key the streams.
+	pool      *shard.Pool
+	shardRoot *sim.Rand
+	passes    uint64
 	// ModelRefresh controls how often the Monte-Carlo occupancy model is
 	// recomputed (simulated ns).
 	ModelRefresh int64
@@ -128,6 +156,8 @@ func (mm *MemoryMode) Name() string { return "MM" }
 func (mm *MemoryMode) Attach(m *machine.Machine) {
 	mm.m = m
 	mm.rng = sim.NewRand(m.Cfg.Seed ^ 0x3153)
+	mm.pool = m.ShardPool()
+	mm.shardRoot = sim.NewRand(m.Cfg.Seed ^ 0x3153).SplitLabel("mm-shard")
 	mm.cacheSets = float64(m.Cfg.DRAMSize / lineSize)
 	mm.lastModel = -1
 	var ok bool
@@ -191,69 +221,112 @@ func linesOf(bytes int64) float64 {
 // Monte Carlo over cache-set compositions. The active zones are flattened
 // into a reusable scratch table with their per-line rate, dirty fraction,
 // and prepped Poisson constants, so the sampling loops below perform only
-// multiplies, divides, and RNG draws — the draw sequence and float
-// summation order are exactly those of the unflattened model, keeping
-// seeded MM results bit-identical.
+// multiplies, divides, and RNG draws. Scratch rows are cached per zone and
+// rebuilt only when the zone's traffic inputs changed since the last pass
+// (steady workloads reuse nearly every row); the cached values are pure
+// functions of the inputs, so reuse is byte-identical to recomputation.
+//
+// The Monte Carlo runs serially on mm.rng when the machine's shard pool is
+// serial — the draw sequence and float summation order are exactly those
+// of the original unflattened model, keeping seeded MM results
+// bit-identical — and shards target zones across the pool otherwise (see
+// the pool field for the stream-splitting contract).
 func (mm *MemoryMode) refreshModel() {
 	zs := mm.scratch[:0]
 	for _, z := range mm.order {
-		if pl := z.perLineRate(); pl > 0 {
-			zs = append(zs, zoneModel{
-				z:       z,
-				perLine: pl,
-				dirty:   z.dirtyFrac(),
-				prep:    sim.NewPoissonPrep(z.lines / mm.cacheSets),
-			})
+		if !z.modelCached || z.readLineRate != z.modelRead || z.writeLineRate != z.modelWrite {
+			pl := z.perLineRate()
+			z.modelActive = pl > 0
+			if z.modelActive {
+				z.modelRow = zoneModel{
+					z:       z,
+					perLine: pl,
+					dirty:   z.dirtyFrac(),
+					prep:    sim.NewPoissonPrep(z.lines / mm.cacheSets),
+				}
+			}
+			z.modelCached = true
+			z.modelRead = z.readLineRate
+			z.modelWrite = z.writeLineRate
+			mm.rowsBuilt++
+		} else {
+			mm.rowsReused++
+		}
+		if z.modelActive {
+			zs = append(zs, z.modelRow)
 		}
 	}
 	mm.scratch = zs
-	for ti := range zs {
-		target := &zs[ti]
-		a := target.perLine
-		var hitSum, wbSum, missSum float64
-		for s := 0; s < mm.MCSamples; s++ {
-			// Competing line-rate mass in this cache set.
-			var compete float64
-			var rateByZone [16]float64
-			for j := range zs {
-				k := mm.rng.PoissonCached(zs[j].prep)
-				r := float64(k) * zs[j].perLine
-				compete += r
-				if j < len(rateByZone) {
-					rateByZone[j] = r
-				}
-			}
-			// The target line hits iff it was the last access to
-			// its set: probability a/(a+compete). (Poissonization:
-			// the other lines of its own zone are already in
-			// compete.)
-			hit := a / (a + compete)
-			hitSum += hit
-			// On a miss the victim is the currently cached line,
-			// which belongs to zone j with probability ∝ its rate
-			// mass and writes back if dirty. Condition on the miss
-			// actually happening: sets with no competitors produce
-			// (almost) no misses and no victims.
-			if compete > 0 {
-				miss := 1 - hit
-				missSum += miss
-				var wb float64
-				for j := range zs {
-					if j < len(rateByZone) {
-						wb += rateByZone[j] / compete * zs[j].dirty
-					}
-				}
-				wbSum += miss * wb
-			}
+	if mm.pool.Workers() <= 1 {
+		for ti := range zs {
+			mcTarget(zs, ti, mm.rng, mm.MCSamples)
 		}
-		target.z.hit = hitSum / float64(mm.MCSamples)
-		if missSum > 0 {
-			target.z.wb = wbSum / missSum
-		} else {
-			target.z.wb = 0
-		}
-		target.z.valid = true
+		return
 	}
+	mm.passes++
+	passRoot := mm.shardRoot.SplitStable(mm.passes)
+	mm.pool.Run(len(zs), func(ti int) {
+		mcTarget(zs, ti, passRoot.SplitStable(uint64(ti)), mm.MCSamples)
+	})
+}
+
+// mcTarget runs the Monte-Carlo sampling loop for one target zone of the
+// scratch table, drawing set compositions from rng. Each call touches only
+// its own row (and the shared read-only table), so sharded passes may run
+// targets concurrently.
+func mcTarget(zs []zoneModel, ti int, rng *sim.Rand, samples int) {
+	target := &zs[ti]
+	a := target.perLine
+	var hitSum, wbSum, missSum float64
+	for s := 0; s < samples; s++ {
+		// Competing line-rate mass in this cache set.
+		var compete float64
+		var rateByZone [16]float64
+		for j := range zs {
+			k := rng.PoissonCached(zs[j].prep)
+			r := float64(k) * zs[j].perLine
+			compete += r
+			if j < len(rateByZone) {
+				rateByZone[j] = r
+			}
+		}
+		// The target line hits iff it was the last access to
+		// its set: probability a/(a+compete). (Poissonization:
+		// the other lines of its own zone are already in
+		// compete.)
+		hit := a / (a + compete)
+		hitSum += hit
+		// On a miss the victim is the currently cached line,
+		// which belongs to zone j with probability ∝ its rate
+		// mass and writes back if dirty. Condition on the miss
+		// actually happening: sets with no competitors produce
+		// (almost) no misses and no victims.
+		if compete > 0 {
+			miss := 1 - hit
+			missSum += miss
+			var wb float64
+			for j := range zs {
+				if j < len(rateByZone) {
+					wb += rateByZone[j] / compete * zs[j].dirty
+				}
+			}
+			wbSum += miss * wb
+		}
+	}
+	target.z.hit = hitSum / float64(samples)
+	if missSum > 0 {
+		target.z.wb = wbSum / missSum
+	} else {
+		target.z.wb = 0
+	}
+	target.z.valid = true
+}
+
+// ModelRowStats reports how many scratch-table rows refreshModel rebuilt
+// vs reused from the per-zone cache across all passes so far, for tests
+// and reports.
+func (mm *MemoryMode) ModelRowStats() (built, reused int64) {
+	return mm.rowsBuilt, mm.rowsReused
 }
 
 // HitRate returns the modelled hit rate for the zone backing set, for

@@ -107,6 +107,69 @@ func TestWriteSkewMMvsHeMem(t *testing.T) {
 	}
 }
 
+// Zones whose traffic inputs are unchanged between refreshes must reuse
+// their cached scratch rows instead of rebuilding them, and a rate change
+// in one zone must rebuild exactly that zone's row. (Byte-identity of a
+// reused row vs recomputation is checked by the white-box test in
+// memmode_internal_test.go; the pre-cache model is pinned by the repo
+// goldens.)
+func TestIncrementalModelRowsReused(t *testing.T) {
+	mm := memmode.New()
+	m := machine.New(machine.DefaultConfig(), mm)
+	setA := m.AS.Map("a", 64*sim.MB).AsSet()
+	setB := m.AS.Map("b", 256*sim.MB).AsSet()
+	comps := []machine.Component{
+		{Set: setA, Share: 1, ReadBytes: 64, WriteBytes: 8},
+		{Set: setB, Share: 1, ReadBytes: 128},
+	}
+	rates := []float64{0.25, 0.125}
+
+	mm.ObserveTraffic(0, comps, rates) // first pass builds both rows
+	if b, r := mm.ModelRowStats(); b != 2 || r != 0 {
+		t.Fatalf("first refresh: built=%d reused=%d, want 2/0", b, r)
+	}
+	// Identical inputs: both rows reused, model still refreshed.
+	hitA := mm.HitRate(setA)
+	mm.ObserveTraffic(50*sim.Millisecond, comps, rates)
+	if b, r := mm.ModelRowStats(); b != 2 || r != 2 {
+		t.Fatalf("unchanged refresh: built=%d reused=%d, want 2/2", b, r)
+	}
+	if got := mm.HitRate(setA); math.Abs(got-hitA) > 0.05 {
+		t.Fatalf("cached-row refresh drifted: hit %v vs %v", got, hitA)
+	}
+	// One zone's rate changes: exactly its row is rebuilt.
+	rates[1] = 0.5
+	mm.ObserveTraffic(100*sim.Millisecond, comps, rates)
+	if b, r := mm.ModelRowStats(); b != 3 || r != 3 {
+		t.Fatalf("changed-zone refresh: built=%d reused=%d, want 3/3", b, r)
+	}
+}
+
+// The sharded Monte-Carlo path must produce identical results at every
+// worker count >= 2: each target zone draws from its own sub-stream keyed
+// by (pass, target index), independent of which worker runs it.
+func TestShardedModelIdenticalAcrossWorkerCounts(t *testing.T) {
+	run := func(shards int) (float64, float64) {
+		cfg := machine.DefaultConfig()
+		cfg.Shards = shards
+		mm := memmode.New()
+		m := machine.New(cfg, mm)
+		g := gups.New(m, gups.Config{
+			Threads: 16, WorkingSet: 64 * sim.GB, HotSet: 8 * sim.GB, Seed: 17,
+		})
+		m.Warm()
+		m.Run(2 * sim.Second)
+		return g.Score(), mm.HitRate(g.HotPages())
+	}
+	s2, h2 := run(2)
+	for _, shards := range []int{4, 8} {
+		if s, h := run(shards); s != s2 || h != h2 {
+			t.Fatalf("shards=%d: score %v vs %v, hot hit rate %v vs %v — sharded MC depends on worker count",
+				shards, s, s2, h, h2)
+		}
+	}
+}
+
 // Identically seeded multi-zone runs must reproduce bit-identical scores
 // and hit rates. The occupancy model samples zones in first-observed
 // order; iterating the zones map instead would randomize the RNG draw

@@ -1,0 +1,93 @@
+// Package shard is the deterministic intra-cell parallel engine: it fans
+// the independent work *inside* one simulation step — the per-machine
+// quantum steps of a fleet cell, Memory Mode's per-zone Monte-Carlo —
+// across a worker pool, one level below the sweep engine's per-cell
+// parallelism (internal/bench/sweep.go).
+//
+// The determinism contract mirrors the sweep engine's: results must be
+// byte-identical at every worker count. Pool provides only the fan-out;
+// callers keep the contract by construction:
+//
+//   - each work item touches only state it owns (its slot of a result
+//     slice, its own machine, its own scratch row);
+//   - any randomness an item needs comes from a sub-stream keyed to the
+//     item's stable identity (sim.Rand.SplitStable), never from a shared
+//     generator consumed in scheduling order;
+//   - reductions over item results happen after Run returns, in fixed
+//     item order, so float summation order never depends on which worker
+//     finished first.
+//
+// A Pool with Workers() <= 1 runs every item inline on the caller's
+// goroutine in index order — the exact serial path, with no goroutines
+// and no synchronization.
+package shard
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Pool fans independent work items across a fixed number of workers. It
+// is stateless between Run calls and safe for concurrent use: sweep
+// cells running on different sweep workers may share one Pool.
+type Pool struct {
+	workers int
+}
+
+// NewPool returns a pool of n workers. Any n <= 1 (including 0, the
+// zero-config default) yields the serial pool.
+func NewPool(n int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	return &Pool{workers: n}
+}
+
+// Serial is the shared serial pool, for callers whose config did not
+// request sharding.
+var Serial = NewPool(1)
+
+// Workers returns the pool's worker count (1 = serial).
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+// Run executes fn(i) for every i in [0, n), returning when all items are
+// done. With more than one worker the items run concurrently in an
+// unspecified order, so fn must only touch state owned by item i; merge
+// results after Run returns, in index order. A serial pool runs the
+// items inline in index order.
+func (p *Pool) Run(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := p.Workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,86 @@
+package shard
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// Every item must run exactly once, at every worker count, including
+// pools wider than the item count and the degenerate n=0.
+func TestPoolRunsEveryItemOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 4, 16} {
+		p := NewPool(workers)
+		const n = 100
+		var counts [n]atomic.Int32
+		p.Run(n, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: item %d ran %d times", workers, i, c)
+			}
+		}
+		p.Run(0, func(i int) { t.Fatalf("workers=%d: fn called for n=0", workers) })
+	}
+}
+
+// A serial pool runs items inline in index order on the caller's
+// goroutine — the exact legacy path.
+func TestSerialPoolInlineInOrder(t *testing.T) {
+	var order []int
+	Serial.Run(10, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial pool ran item %d at position %d", v, i)
+		}
+	}
+	if len(order) != 10 {
+		t.Fatalf("serial pool ran %d of 10 items", len(order))
+	}
+	if Serial.Workers() != 1 || NewPool(-3).Workers() != 1 {
+		t.Fatal("serial pools must report 1 worker")
+	}
+	var nilPool *Pool
+	if nilPool.Workers() != 1 {
+		t.Fatal("nil pool must degrade to serial")
+	}
+}
+
+// Disjoint-slot writes merged in index order give identical results at
+// any worker count — the reduction rule sharded callers follow.
+func TestPoolFixedOrderReduction(t *testing.T) {
+	sum := func(workers int) float64 {
+		p := NewPool(workers)
+		res := make([]float64, 64)
+		p.Run(len(res), func(i int) { res[i] = 1.0 / float64(i+1) })
+		s := 0.0
+		for _, v := range res {
+			s += v
+		}
+		return s
+	}
+	want := sum(1)
+	for _, w := range []int{2, 3, 8} {
+		if got := sum(w); got != want {
+			t.Fatalf("workers=%d: fixed-order reduction %v != serial %v", w, got, want)
+		}
+	}
+}
+
+// Concurrent Run calls on one shared pool (sweep cells sharing the shard
+// pool) must not interfere; exercised under -race by the CI subset.
+func TestPoolConcurrentRuns(t *testing.T) {
+	p := NewPool(4)
+	var total atomic.Int64
+	done := make(chan struct{})
+	for c := 0; c < 3; c++ {
+		go func() {
+			p.Run(50, func(i int) { total.Add(int64(i)) })
+			done <- struct{}{}
+		}()
+	}
+	for c := 0; c < 3; c++ {
+		<-done
+	}
+	if got := total.Load(); got != 3*(49*50/2) {
+		t.Fatalf("concurrent runs summed %d, want %d", got, 3*49*50/2)
+	}
+}
